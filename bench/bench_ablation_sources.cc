@@ -1,0 +1,122 @@
+// Ablation: what each data source contributes to the investor graph.
+// Compares AngelList-only, CrunchBase-only and merged edge sets on graph
+// size and the community-strength metrics — quantifying why the paper's
+// platform integrates multiple sources (§3's CrunchBase augmentation).
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "community/coda.h"
+#include "core/community_metrics.h"
+#include "dataflow/dataset.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace cfnet::bench {
+namespace {
+
+Testbed* g_bed = nullptr;
+
+graph::BipartiteGraph GraphFromPacked(const std::vector<uint64_t>& packed) {
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  edges.reserve(packed.size());
+  for (uint64_t e : packed) {
+    edges.emplace_back(e >> 32, e & 0xffffffffull);
+  }
+  return graph::BipartiteGraph::FromEdges(edges);
+}
+
+struct SourceRow {
+  std::string name;
+  graph::BipartiteGraph graph;
+};
+
+void BM_EdgeProvenance(benchmark::State& state) {
+  for (auto _ : state) {
+    core::EdgeProvenance p = core::ComputeEdgeProvenance(
+        g_bed->platform->context(), *g_bed->inputs);
+    benchmark::DoNotOptimize(p.merged_unique_edges);
+  }
+}
+BENCHMARK(BM_EdgeProvenance)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfnet::bench
+
+int main(int argc, char** argv) {
+  using namespace cfnet;
+  using namespace cfnet::bench;
+  using dataflow::Dataset;
+  FlagParser flags(argc, argv);
+  Testbed& bed = GetTestbed(flags);
+  g_bed = &bed;
+  auto ctx = bed.platform->context();
+
+  // Build the three edge sets (packed investor<<32|company).
+  auto al_edges =
+      Dataset<core::UserRecord>::FromVector(ctx, bed.inputs->users)
+          .FlatMap([](const core::UserRecord& u) {
+            std::vector<uint64_t> out;
+            for (uint64_t c : u.investment_company_ids) {
+              out.push_back((u.id << 32) | c);
+            }
+            return out;
+          })
+          .Distinct()
+          .Collect();
+  auto cb_edges =
+      Dataset<core::CrunchBaseRecord>::FromVector(ctx, bed.inputs->crunchbase)
+          .FlatMap([](const core::CrunchBaseRecord& r) {
+            std::vector<uint64_t> out;
+            for (uint64_t inv : r.round_investor_ids) {
+              out.push_back((inv << 32) | r.angellist_id);
+            }
+            return out;
+          })
+          .Distinct()
+          .Collect();
+  std::vector<uint64_t> merged = al_edges;
+  merged.insert(merged.end(), cb_edges.begin(), cb_edges.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+  std::vector<SourceRow> sources;
+  sources.push_back({"AngelList only", GraphFromPacked(al_edges)});
+  sources.push_back({"CrunchBase only", GraphFromPacked(cb_edges)});
+  sources.push_back({"Merged (paper)", GraphFromPacked(merged)});
+
+  Section("ablation: investor graph per data source");
+  AsciiTable table({"source", "investors", "companies", "edges",
+                    "mean degree", "investors w/ >=4", "Fig5 metric (CoDA)"});
+  for (auto& src : sources) {
+    const graph::BipartiteGraph& g = src.graph;
+    graph::BipartiteGraph filtered = g.FilterLeftByMinDegree(4);
+    community::CodaConfig coda_config;
+    coda_config.num_communities = 96;
+    coda_config.max_iterations = 15;
+    community::CodaResult coda = community::Coda(coda_config).Fit(filtered);
+    double fig5 = core::MeanSharedInvestorCompanyPercent(
+        filtered, coda.investor_communities, 2);
+    graph::DegreeSummary deg = SummarizeOutDegrees(g);
+    table.AddRow({src.name,
+                  WithThousandsSeparators(static_cast<int64_t>(g.num_left())),
+                  WithThousandsSeparators(static_cast<int64_t>(g.num_right())),
+                  WithThousandsSeparators(static_cast<int64_t>(g.num_edges())),
+                  StrFormat("%.2f", deg.mean),
+                  WithThousandsSeparators(
+                      static_cast<int64_t>(filtered.num_left())),
+                  StrFormat("%.1f%%", fig5)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("AngelList alone misses ~%d%% of edges; CrunchBase alone only "
+              "covers funded companies — the merge recovers the full set "
+              "(\"AngelList data is incomplete\", §3).\n",
+              static_cast<int>(100.0 -
+                               100.0 * static_cast<double>(al_edges.size()) /
+                                   static_cast<double>(merged.size())));
+
+  RunBenchmarks(argc, argv);
+  return 0;
+}

@@ -1,0 +1,230 @@
+// Community-detection comparison: CoDA (the paper's choice) against the
+// Louvain, label-propagation, bipartite-SBM and random baselines, scored
+// with the paper's strength metrics. Also times each detector.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "community/coda.h"
+#include "community/compare.h"
+#include "community/model_selection.h"
+#include "community/quality.h"
+#include "community/label_propagation.h"
+#include "community/louvain.h"
+#include "community/random_baseline.h"
+#include "community/sbm.h"
+#include "core/community_metrics.h"
+#include "graph/weighted_graph.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace cfnet::bench {
+namespace {
+
+Testbed* g_bed = nullptr;
+
+struct DetectorScore {
+  std::string name;
+  size_t communities = 0;
+  double avg_size = 0;
+  double mean_shared = 0;        // weighted by community, avg pairwise
+  double shared_investor_pct = 0;  // Fig 5 metric, K=2
+  double conductance = 1.0;        // mean, on the co-investment projection
+  double planted_f1 = 0;           // pairwise F1 vs the planted ground truth
+  double seconds = 0;
+};
+
+const graph::WeightedGraph* g_projection = nullptr;
+const community::CommunitySet* g_planted = nullptr;
+
+/// Ground-truth planted communities, mapped onto the filtered graph's
+/// investor indices — the recovery target only a synthetic world can offer.
+community::CommunitySet PlantedTruth(const synth::World& world,
+                                     const graph::BipartiteGraph& g) {
+  community::CommunitySet truth;
+  truth.num_nodes = g.num_left();
+  for (const auto& comm : world.communities()) {
+    std::vector<uint32_t> members;
+    for (synth::UserId m : comm.members) {
+      uint32_t idx = g.LeftIndexOf(m);
+      if (idx != graph::BipartiteGraph::kInvalidIndex) members.push_back(idx);
+    }
+    std::sort(members.begin(), members.end());
+    if (members.size() >= 2) truth.communities.push_back(std::move(members));
+  }
+  return truth;
+}
+
+DetectorScore Score(const std::string& name,
+                    const community::CommunitySet& set,
+                    const graph::BipartiteGraph& g, double seconds) {
+  DetectorScore score;
+  score.name = name;
+  score.communities = set.communities.size();
+  score.avg_size = set.AverageSize();
+  double shared_sum = 0;
+  size_t counted = 0;
+  for (const auto& members : set.communities) {
+    if (members.size() < 2) continue;
+    shared_sum += core::MeanSharedInvestmentSize(g, members, 20000);
+    ++counted;
+  }
+  score.mean_shared = counted == 0 ? 0 : shared_sum / static_cast<double>(counted);
+  score.shared_investor_pct = core::MeanSharedInvestorCompanyPercent(g, set, 2);
+  if (g_projection != nullptr) {
+    score.conductance = community::MeanConductance(*g_projection, set);
+  }
+  if (g_planted != nullptr) {
+    score.planted_f1 = community::ComparePairwise(set, *g_planted).f1;
+  }
+  score.seconds = seconds;
+  return score;
+}
+
+template <typename F>
+DetectorScore TimeDetector(const std::string& name,
+                           const graph::BipartiteGraph& g, F run) {
+  auto start = std::chrono::steady_clock::now();
+  community::CommunitySet set = run();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return Score(name, set, g, seconds);
+}
+
+void BM_Coda(benchmark::State& state) {
+  const graph::BipartiteGraph& g = g_bed->suite->filtered_graph();
+  community::CodaConfig config;
+  config.num_communities = 96;
+  config.max_iterations = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(community::Coda(config).Fit(g).iterations);
+  }
+}
+BENCHMARK(BM_Coda)->Unit(benchmark::kMillisecond);
+
+void BM_Louvain(benchmark::State& state) {
+  graph::WeightedGraph projection =
+      graph::WeightedGraph::ProjectLeft(g_bed->suite->filtered_graph());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(community::RunLouvain(projection).modularity);
+  }
+}
+BENCHMARK(BM_Louvain)->Unit(benchmark::kMillisecond);
+
+void BM_LabelPropagation(benchmark::State& state) {
+  graph::WeightedGraph projection =
+      graph::WeightedGraph::ProjectLeft(g_bed->suite->filtered_graph());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        community::RunLabelPropagation(projection).iterations);
+  }
+}
+BENCHMARK(BM_LabelPropagation)->Unit(benchmark::kMillisecond);
+
+void BM_Sbm(benchmark::State& state) {
+  const graph::BipartiteGraph& g = g_bed->suite->filtered_graph();
+  community::SbmConfig config;
+  config.num_investor_blocks = 32;
+  config.num_company_blocks = 32;
+  config.max_sweeps = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(community::RunSbm(g, config).sweeps);
+  }
+}
+BENCHMARK(BM_Sbm)->Unit(benchmark::kMillisecond);
+
+void BM_ProjectWeightedGraph(benchmark::State& state) {
+  const graph::BipartiteGraph& g = g_bed->suite->filtered_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::WeightedGraph::ProjectLeft(g).num_edges());
+  }
+}
+BENCHMARK(BM_ProjectWeightedGraph)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfnet::bench
+
+int main(int argc, char** argv) {
+  using namespace cfnet;
+  using namespace cfnet::bench;
+  FlagParser flags(argc, argv);
+  Testbed& bed = GetTestbed(flags);
+  g_bed = &bed;
+
+  const graph::BipartiteGraph& g = bed.suite->filtered_graph();
+  graph::WeightedGraph projection = graph::WeightedGraph::ProjectLeft(g);
+  g_projection = &projection;
+  community::CommunitySet planted = PlantedTruth(bed.platform->world(), g);
+  g_planted = &planted;
+  std::printf("planted ground truth on the filtered graph: %zu communities, "
+              "avg size %.1f\n",
+              planted.communities.size(), planted.AverageSize());
+  std::printf("filtered investor graph (>=4 investments): %zu investors, %zu "
+              "companies, %zu edges; projection: %zu co-investment edges\n",
+              g.num_left(), g.num_right(), g.num_edges(),
+              projection.num_edges());
+
+  std::vector<DetectorScore> scores;
+  scores.push_back(TimeDetector("CoDA (paper)", g, [&]() {
+    community::CodaConfig config;
+    config.num_communities = 96;
+    config.max_iterations = 25;
+    return community::Coda(config).Fit(g).investor_communities;
+  }));
+  scores.push_back(TimeDetector("Louvain (projection)", g, [&]() {
+    return community::RunLouvain(projection).communities;
+  }));
+  scores.push_back(TimeDetector("Label propagation (projection)", g, [&]() {
+    return community::RunLabelPropagation(projection).communities;
+  }));
+  scores.push_back(TimeDetector("Bipartite SBM (ICM, §7)", g, [&]() {
+    community::SbmConfig config;
+    config.num_investor_blocks = 32;
+    config.num_company_blocks = 32;
+    return community::RunSbm(g, config).investor_communities;
+  }));
+  scores.push_back(TimeDetector("Random baseline", g, [&]() {
+    return community::RandomCommunities(g.num_left(), 96, 17);
+  }));
+
+  Section("detector comparison on the paper's strength metrics");
+  AsciiTable table({"detector", "communities", "avg size", "mean shared size",
+                    "% companies w/ >=2 shared investors", "conductance",
+                    "planted F1", "seconds"});
+  for (const auto& s : scores) {
+    table.AddRow({s.name, std::to_string(s.communities),
+                  StrFormat("%.1f", s.avg_size),
+                  StrFormat("%.3f", s.mean_shared),
+                  StrFormat("%.1f%%", s.shared_investor_pct),
+                  StrFormat("%.3f", s.conductance),
+                  StrFormat("%.3f", s.planted_f1),
+                  StrFormat("%.3f", s.seconds)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("(paper: CoDA communities average 23.1%% on the shared-"
+              "investor metric vs 5.8%% for randomized communities)\n");
+
+  Section("CoDA model selection by held-out likelihood (extension; the "
+          "paper fixes C via SNAP defaults)");
+  {
+    community::ModelSelectionConfig ms;
+    ms.coda.max_iterations = 15;
+    community::ModelSelectionResult selection = community::SelectCodaCommunities(
+        g, {8, 24, 48, 96, 160}, ms);
+    AsciiTable ms_table({"candidate C", "held-out log-likelihood / pair",
+                         "detected communities"});
+    for (const auto& cand : selection.scores) {
+      ms_table.AddRow({std::to_string(cand.num_communities),
+                       StrFormat("%.5f", cand.heldout_log_likelihood),
+                       std::to_string(cand.detected_communities)});
+    }
+    std::printf("%s", ms_table.Render().c_str());
+    std::printf("selected C = %d\n", selection.best_num_communities);
+  }
+
+  RunBenchmarks(argc, argv);
+  return 0;
+}

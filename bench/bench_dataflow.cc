@@ -1,0 +1,138 @@
+// MiniSpark (dataflow substrate) throughput: the operators the paper's
+// analyses are built from, measured standalone with google-benchmark.
+
+#include <numeric>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "dataflow/dataset.h"
+
+namespace cfnet::bench {
+namespace {
+
+using dataflow::Dataset;
+using dataflow::ExecutionContext;
+
+std::shared_ptr<ExecutionContext> Ctx() {
+  static auto ctx = std::make_shared<ExecutionContext>();
+  return ctx;
+}
+
+std::vector<int64_t> Numbers(size_t n) {
+  std::vector<int64_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+void BM_Map(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> data = Numbers(n);
+  for (auto _ : state) {
+    auto out = Dataset<int64_t>::FromVector(Ctx(), data)
+                   .Map([](const int64_t& x) { return x * 2 + 1; })
+                   .Count();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Map)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_FilterChain(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> data = Numbers(n);
+  for (auto _ : state) {
+    auto out = Dataset<int64_t>::FromVector(Ctx(), data)
+                   .Filter([](const int64_t& x) { return x % 2 == 0; })
+                   .Map([](const int64_t& x) { return x / 2; })
+                   .Filter([](const int64_t& x) { return x % 3 == 0; })
+                   .Count();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FilterChain)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_ReduceByKey(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::pair<int64_t, int64_t>> kvs;
+  kvs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    kvs.emplace_back(static_cast<int64_t>(i % 10007), 1);
+  }
+  for (auto _ : state) {
+    auto out = ReduceByKey(
+                   Dataset<std::pair<int64_t, int64_t>>::FromVector(Ctx(), kvs),
+                   [](int64_t a, int64_t b) { return a + b; })
+                   .Count();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ReduceByKey)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Join(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::pair<int64_t, int64_t>> left;
+  std::vector<std::pair<int64_t, int64_t>> right;
+  for (size_t i = 0; i < n; ++i) {
+    left.emplace_back(static_cast<int64_t>(i), static_cast<int64_t>(i));
+    if (i % 2 == 0) {
+      right.emplace_back(static_cast<int64_t>(i), static_cast<int64_t>(-i));
+    }
+  }
+  for (auto _ : state) {
+    auto out =
+        Join(Dataset<std::pair<int64_t, int64_t>>::FromVector(Ctx(), left),
+             Dataset<std::pair<int64_t, int64_t>>::FromVector(Ctx(), right))
+            .Count();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Join)->Arg(100000)->Arg(500000)->Unit(benchmark::kMillisecond);
+
+void BM_Distinct(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back(static_cast<int64_t>(i % (n / 4)));
+  }
+  for (auto _ : state) {
+    auto out = Dataset<int64_t>::FromVector(Ctx(), data).Distinct().Count();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Distinct)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_ScalingWithThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  auto ctx = std::make_shared<ExecutionContext>(threads);
+  std::vector<int64_t> data = Numbers(2000000);
+  for (auto _ : state) {
+    auto out = Dataset<int64_t>::FromVector(ctx, data)
+                   .Map([](const int64_t& x) {
+                     // A mildly expensive kernel so threading matters.
+                     int64_t acc = x;
+                     for (int k = 0; k < 20; ++k) acc = acc * 6364136223846793005ll + 1;
+                     return acc;
+                   })
+                   .Reduce([](int64_t a, int64_t b) { return a ^ b; }, 0);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000000);
+}
+BENCHMARK(BM_ScalingWithThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace cfnet::bench
+
+int main(int argc, char** argv) {
+  cfnet::bench::RunBenchmarks(argc, argv);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Reproduces Figure 3 (CDF of investments per investor) and the §5.1
+// investor-graph statistics: graph dimensions, average degrees, and the
+// out-degree concentration rows, against the paper's numbers. Benchmarks
+// the AngelList+CrunchBase merge and graph construction.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/investor_graph.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace cfnet::bench {
+namespace {
+
+Testbed* g_bed = nullptr;
+
+void BM_BuildInvestorGraph(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::BipartiteGraph g =
+        core::BuildInvestorGraph(g_bed->platform->context(), *g_bed->inputs);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_BuildInvestorGraph)->Unit(benchmark::kMillisecond);
+
+void BM_FilterMinDegree(benchmark::State& state) {
+  const graph::BipartiteGraph& g = g_bed->suite->investor_graph();
+  for (auto _ : state) {
+    graph::BipartiteGraph f = g.FilterLeftByMinDegree(4);
+    benchmark::DoNotOptimize(f.num_edges());
+  }
+}
+BENCHMARK(BM_FilterMinDegree)->Unit(benchmark::kMillisecond);
+
+void BM_DegreeSummary(benchmark::State& state) {
+  const graph::BipartiteGraph& g = g_bed->suite->investor_graph();
+  for (auto _ : state) {
+    graph::DegreeSummary s = SummarizeOutDegrees(g);
+    benchmark::DoNotOptimize(s.mean);
+  }
+}
+BENCHMARK(BM_DegreeSummary)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfnet::bench
+
+int main(int argc, char** argv) {
+  using namespace cfnet;
+  using namespace cfnet::bench;
+  FlagParser flags(argc, argv);
+  Testbed& bed = GetTestbed(flags);
+  g_bed = &bed;
+
+  core::Fig3Result fig3 = bed.suite->RunFig3();
+  const double scale = bed.scale;
+
+  Section("§5.1 investor bipartite graph (AngelList + CrunchBase merge)");
+  PrintComparison("investor nodes", StrFormat("%.0f (46,966 x scale)", 46966 * scale),
+                  WithThousandsSeparators(static_cast<int64_t>(fig3.num_investors)));
+  PrintComparison("company nodes", StrFormat("%.0f (59,953 x scale)", 59953 * scale),
+                  WithThousandsSeparators(static_cast<int64_t>(fig3.num_companies)));
+  PrintComparison("investment edges", StrFormat("%.0f (158,199 x scale)", 158199 * scale),
+                  WithThousandsSeparators(static_cast<int64_t>(fig3.num_edges)));
+  PrintComparison("avg investors per company", "2.6",
+                  StrFormat("%.2f", fig3.avg_investors_per_company));
+  PrintComparison("avg investments per investor", "3.3",
+                  StrFormat("%.2f", fig3.degrees.mean));
+  PrintComparison("median investments per investor", "1",
+                  StrFormat("%.0f", fig3.degrees.median));
+  PrintComparison("max investments (most active investor)", "~1000 (full scale)",
+                  std::to_string(fig3.degrees.max));
+  PrintComparison("avg companies followed per investor", "247",
+                  StrFormat("%.1f", fig3.mean_investor_follows));
+  PrintComparison(
+      "edge sources (AngelList / CrunchBase / merged)", "(merge required)",
+      StrFormat("%zu / %zu / %zu", fig3.provenance.angellist_edges,
+                fig3.provenance.crunchbase_edges,
+                fig3.provenance.merged_unique_edges));
+
+  Section("out-degree concentration (paper: >=3 -> 30%/75%, >=4 -> "
+          "22.2%/68.3%, >=5 -> 17.0%/62.0%)");
+  constexpr double kPaperNodePct[] = {30.0, 22.2, 17.0};
+  constexpr double kPaperEdgePct[] = {75.0, 68.3, 62.0};
+  AsciiTable table({"out-degree >= k", "% investors", "paper", "% edges",
+                    "paper"});
+  for (size_t i = 0; i < fig3.degrees.concentration.size(); ++i) {
+    const auto& c = fig3.degrees.concentration[i];
+    table.AddRow({StrFormat("k = %zu", c.k),
+                  StrFormat("%.1f%%", 100 * c.node_fraction),
+                  StrFormat("%.1f%%", kPaperNodePct[i]),
+                  StrFormat("%.1f%%", 100 * c.edge_fraction),
+                  StrFormat("%.1f%%", kPaperEdgePct[i])});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  Section("Figure 3: CDF of investments per investor");
+  std::printf("  x (investments)  F(x)\n");
+  for (const auto& point : fig3.investment_cdf) {
+    std::printf("  %15.0f  %.4f\n", point.x, point.p);
+  }
+
+  RunBenchmarks(argc, argv);
+  return 0;
+}

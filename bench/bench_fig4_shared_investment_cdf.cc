@@ -1,0 +1,124 @@
+// Reproduces Figure 4: shared-investment-size CDFs of the strongest CoDA
+// communities vs the sampled global estimate (with its DKW/Glivenko-
+// Cantelli accuracy bound), plus the Figure 8 toy-example metric checks.
+// Benchmarks CoDA fitting and pairwise-intersection throughput.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/community_metrics.h"
+#include "stats/stats.h"
+#include "util/string_util.h"
+
+namespace cfnet::bench {
+namespace {
+
+Testbed* g_bed = nullptr;
+
+void BM_CodaFit(benchmark::State& state) {
+  const graph::BipartiteGraph& g = g_bed->suite->filtered_graph();
+  community::CodaConfig config;
+  config.num_communities = static_cast<int>(state.range(0));
+  config.max_iterations = 10;
+  for (auto _ : state) {
+    community::CodaResult result = community::Coda(config).Fit(g);
+    benchmark::DoNotOptimize(result.final_log_likelihood);
+  }
+  state.SetLabel(StrFormat("%zu investors, %zu edges", g.num_left(),
+                           g.num_edges()));
+}
+BENCHMARK(BM_CodaFit)->Arg(16)->Arg(48)->Arg(96)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalSharedInvestmentSample(benchmark::State& state) {
+  const graph::BipartiteGraph& g = g_bed->suite->investor_graph();
+  size_t pairs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto sample = core::GlobalSharedInvestmentSample(g, pairs, 3);
+    benchmark::DoNotOptimize(sample.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pairs));
+}
+BENCHMARK(BM_GlobalSharedInvestmentSample)
+    ->Arg(100000)
+    ->Arg(800000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfnet::bench
+
+int main(int argc, char** argv) {
+  using namespace cfnet;
+  using namespace cfnet::bench;
+  FlagParser flags(argc, argv);
+  Testbed& bed = GetTestbed(flags);
+  g_bed = &bed;
+
+  Section("Figure 8 toy examples (metric validation)");
+  {
+    graph::BipartiteGraph strong = core::ToyCommunityExample1();
+    graph::BipartiteGraph weak = core::ToyCommunityExample2();
+    std::vector<uint32_t> all1 = {0, 1, 2};
+    PrintComparison("toy 1 mean shared size", "1.67",
+                    StrFormat("%.2f", core::MeanSharedInvestmentSize(strong, all1)));
+    PrintComparison("toy 1 companies with >=2 shared investors", "100%",
+                    StrFormat("%.0f%%",
+                              core::SharedInvestorCompanyPercent(strong, all1, 2)));
+    PrintComparison("toy 2 mean shared size", "0.33",
+                    StrFormat("%.2f", core::MeanSharedInvestmentSize(weak, all1)));
+    PrintComparison("toy 2 companies with >=2 shared investors", "25%",
+                    StrFormat("%.0f%%",
+                              core::SharedInvestorCompanyPercent(weak, all1, 2)));
+  }
+
+  size_t global_pairs = static_cast<size_t>(flags.GetInt("pairs", 800000));
+  core::Fig4Result fig4 = bed.suite->RunFig4(3, global_pairs);
+
+  Section("CoDA communities (paper: 96 communities, average size 190.2)");
+  PrintComparison("communities detected", "96",
+                  std::to_string(fig4.num_communities));
+  PrintComparison("average community size",
+                  StrFormat("%.1f (190.2 x scale)", 190.2 * bed.scale),
+                  StrFormat("%.1f", fig4.avg_community_size));
+  std::printf("  CoDA: %d iterations, final log-likelihood %.1f\n",
+              fig4.coda_iterations, fig4.coda_log_likelihood);
+
+  Section("Figure 4: shared-investment-size CDFs");
+  PrintComparison("strongest community mean shared size", "2.1",
+                  fig4.strongest.empty()
+                      ? "n/a"
+                      : StrFormat("%.2f", fig4.strongest[0].mean_shared));
+  if (fig4.strongest.size() > 1) {
+    PrintComparison("2nd strongest community mean shared size", "1.6",
+                    StrFormat("%.2f", fig4.strongest[1].mean_shared));
+  }
+  PrintComparison("max pairwise shared investments", "48",
+                  fig4.strongest.empty()
+                      ? "n/a"
+                      : StrFormat("%.0f", fig4.strongest[0].max_shared));
+  PrintComparison("global estimate sample pairs", "800,000",
+                  WithThousandsSeparators(static_cast<int64_t>(fig4.global_pairs)));
+  PrintComparison("DKW bound at 99% confidence", "0.0196 (paper's figure)",
+                  StrFormat("%.4f", fig4.dkw_epsilon));
+
+  for (size_t s = 0; s < fig4.strongest.size(); ++s) {
+    const auto& curve = fig4.strongest[s];
+    std::printf("\n  CDF, strong community #%zu (%zu investors, mean %.2f):\n",
+                curve.community_index, curve.size, curve.mean_shared);
+    std::printf("    x:");
+    for (const auto& p : curve.curve) std::printf(" %.0f", p.x);
+    std::printf("\n    F:");
+    for (const auto& p : curve.curve) std::printf(" %.3f", p.p);
+    std::printf("\n");
+  }
+  std::printf("\n  CDF, global %zu-pair estimate:\n", fig4.global_pairs);
+  std::printf("    x:");
+  for (const auto& p : fig4.global_curve) std::printf(" %.0f", p.x);
+  std::printf("\n    F:");
+  for (const auto& p : fig4.global_curve) std::printf(" %.4f", p.p);
+  std::printf("\n");
+
+  RunBenchmarks(argc, argv);
+  return 0;
+}

@@ -1,0 +1,160 @@
+// §7 longitudinal dynamics: runs the daily cohort tracker over an evolving
+// world and reports the time-resolved signals a one-shot crawl cannot see
+// (pre-close engagement growth of eventual winners vs losers, community
+// drift), plus timings of the evolution step and the daily crawl.
+
+#include <cstdio>
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "community/coda.h"
+#include "crawler/periodic.h"
+#include "net/social_web.h"
+#include "synth/world.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace cfnet::bench {
+namespace {
+
+void BM_EvolveOneDay(benchmark::State& state) {
+  synth::WorldConfig config;
+  config.scale = static_cast<double>(state.range(0)) / 1000.0;
+  synth::World world = synth::World::Generate(config);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.EvolveOneDay(rng).campaigns_closed);
+  }
+  state.SetLabel(StrFormat("%zu companies", world.companies().size()));
+}
+BENCHMARK(BM_EvolveOneDay)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_DailyCohortCrawl(benchmark::State& state) {
+  synth::WorldConfig config;
+  config.scale = 0.02;
+  synth::World world = synth::World::Generate(config);
+  dfs::MiniDfs dfs;
+  crawler::PeriodicCohortCrawler daily(&dfs);
+  int day = 0;
+  for (auto _ : state) {
+    net::SocialWeb web(&world);
+    auto report = daily.CrawlDay(&web, day++);
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+BENCHMARK(BM_DailyCohortCrawl)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfnet::bench
+
+int main(int argc, char** argv) {
+  using namespace cfnet;
+  using namespace cfnet::bench;
+  FlagParser flags(argc, argv);
+  const int days = static_cast<int>(flags.GetInt("days", 35));
+  const double scale = flags.GetDouble("scale", 0.03);
+
+  synth::WorldConfig config;
+  config.scale = scale;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 20160626));
+  // A larger raising cohort than the steady-state default, so the
+  // winners-vs-losers growth comparison has a usable sample within the
+  // bench's horizon.
+  config.frac_currently_raising = 0.02;
+  synth::World world = synth::World::Generate(config);
+  dfs::MiniDfs dfs;
+  crawler::PeriodicCohortCrawler daily(&dfs);
+  Rng rng(config.seed ^ 0xfeedULL);
+
+  Section(StrFormat("daily cohort tracking over %d days (scale %.2f)", days,
+                    scale));
+
+  struct Track {
+    int64_t followers_first = -1;
+    int64_t followers_last = -1;
+    int days_observed = 0;
+    bool closed = false;
+    bool succeeded = false;
+  };
+  std::map<uint64_t, Track> tracks;
+  int64_t total_closed = 0;
+  int64_t total_succeeded = 0;
+
+  for (int day = 0; day < days; ++day) {
+    net::SocialWeb web(&world);
+    auto report = daily.CrawlDay(&web, day);
+    if (!report.ok()) {
+      std::fprintf(stderr, "day %d failed: %s\n", day,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    auto records = daily.ReadDay(day);
+    if (records.ok()) {
+      for (const auto& r : *records) {
+        uint64_t id = static_cast<uint64_t>(r.Get("id").AsInt());
+        Track& t = tracks[id];
+        if (r.Has("twitter_followers")) {
+          int64_t f = r.Get("twitter_followers").AsInt();
+          if (t.followers_first < 0) t.followers_first = f;
+          t.followers_last = f;
+        }
+        ++t.days_observed;
+      }
+    }
+    synth::World::DayReport evolve = world.EvolveOneDay(rng);
+    total_closed += evolve.campaigns_closed;
+    total_succeeded += evolve.campaigns_succeeded;
+    for (const auto& c : world.companies()) {
+      auto it = tracks.find(c.id);
+      if (it != tracks.end() && !c.currently_raising && !it->second.closed) {
+        it->second.closed = true;
+        it->second.succeeded = c.raised_funding;
+      }
+    }
+  }
+  std::printf("  %zu companies tracked; %lld campaigns closed, %lld "
+              "succeeded\n",
+              tracks.size(), static_cast<long long>(total_closed),
+              static_cast<long long>(total_succeeded));
+
+  double growth_w = 0;
+  double growth_l = 0;
+  int n_w = 0;
+  int n_l = 0;
+  for (const auto& [id, t] : tracks) {
+    if (!t.closed || t.followers_first <= 0 || t.days_observed < 2) continue;
+    double growth = (static_cast<double>(t.followers_last) -
+                     static_cast<double>(t.followers_first)) /
+                    static_cast<double>(t.followers_first) /
+                    static_cast<double>(t.days_observed);
+    if (t.succeeded) {
+      growth_w += growth;
+      ++n_w;
+    } else {
+      growth_l += growth;
+      ++n_l;
+    }
+  }
+  PrintComparison("pre-close follower growth, winners",
+                  "(higher than losers)",
+                  n_w > 0 ? StrFormat("%+.2f%%/day (n=%d)",
+                                      100 * growth_w / n_w, n_w)
+                          : "n/a");
+  PrintComparison("pre-close follower growth, losers", "-",
+                  n_l > 0 ? StrFormat("%+.2f%%/day (n=%d)",
+                                      100 * growth_l / n_l, n_l)
+                          : "n/a");
+
+  uint64_t snapshot_bytes = 0;
+  for (const auto& f : dfs.List("/longitudinal/")) {
+    auto size = dfs.FileSize(f);
+    if (size.ok()) snapshot_bytes += *size;
+  }
+  std::printf("  %d dated snapshots, %s bytes in MiniDFS\n", days,
+              WithThousandsSeparators(static_cast<int64_t>(snapshot_bytes)).c_str());
+
+  RunBenchmarks(argc, argv);
+  return 0;
+}

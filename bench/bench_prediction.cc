@@ -1,0 +1,113 @@
+// §7 prediction experiment: trains logistic success predictors on the
+// crawled world, ablates feature groups to identify which statistics carry
+// the signal (the paper's planned "feature selection ... to identify the
+// graph statistics that are the most useful"), and times training.
+
+#include <cmath>
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/investor_graph.h"
+#include "core/prediction.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace cfnet::bench {
+namespace {
+
+std::vector<core::LabeledExample>* g_examples = nullptr;
+
+/// Zeroes a span of feature columns (ablation by column, keeping the
+/// example count and split identical).
+std::vector<core::LabeledExample> ZeroFeatures(
+    const std::vector<core::LabeledExample>& examples,
+    const std::vector<size_t>& columns) {
+  std::vector<core::LabeledExample> out = examples;
+  for (auto& ex : out) {
+    for (size_t c : columns) ex.features[c] = 0;
+  }
+  return out;
+}
+
+void BM_TrainPredictor(benchmark::State& state) {
+  core::TrainConfig config;
+  config.epochs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::PredictionResult model =
+        core::TrainSuccessPredictor(*g_examples, config);
+    benchmark::DoNotOptimize(model.test_auc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g_examples->size()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TrainPredictor)->Arg(50)->Arg(300)->Unit(benchmark::kMillisecond);
+
+void BM_ComputeAuc(benchmark::State& state) {
+  std::vector<std::pair<double, bool>> scored;
+  for (size_t i = 0; i < 100000; ++i) {
+    scored.emplace_back(static_cast<double>((i * 2654435761u) % 100000),
+                        i % 71 == 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputeAuc(scored));
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_ComputeAuc)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfnet::bench
+
+int main(int argc, char** argv) {
+  using namespace cfnet;
+  using namespace cfnet::bench;
+  FlagParser flags(argc, argv);
+  Testbed& bed = GetTestbed(flags);
+
+  graph::BipartiteGraph investor_graph =
+      core::BuildInvestorGraph(bed.platform->context(), *bed.inputs);
+  auto examples = core::BuildSuccessFeatures(bed.platform->context(),
+                                             *bed.inputs, investor_graph);
+  g_examples = &examples;
+
+  core::TrainConfig config;
+  config.l1 = flags.GetDouble("l1", 0.002);
+
+  Section("feature-group ablation (test AUC; §7 'which graph statistics "
+          "are most useful')");
+  struct Group {
+    const char* name;
+    std::vector<size_t> columns;
+  } groups[] = {
+      {"full model", {}},
+      {"- social presence/video (1,2,3)", {1, 2, 3}},
+      {"- engagement counts (4,5,6)", {4, 5, 6}},
+      {"- investor-graph features (7,8,9,10)", {7, 8, 9, 10}},
+      {"- AngelList followers (0)", {0}},
+      {"only investor-graph features", {0, 1, 2, 3, 4, 5, 6, 11}},
+  };
+  AsciiTable table({"feature set", "test AUC", "top-decile lift",
+                    "nonzero weights"});
+  for (const auto& group : groups) {
+    auto ablated = ZeroFeatures(examples, group.columns);
+    core::PredictionResult model = core::TrainSuccessPredictor(ablated, config);
+    table.AddRow({group.name, StrFormat("%.3f", model.test_auc),
+                  StrFormat("%.1fx", model.top_decile_lift),
+                  std::to_string(model.nonzero_weights)});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  core::PredictionResult full = core::TrainSuccessPredictor(examples, config);
+  Section("full-model weights (standardized; L1-selected)");
+  for (size_t k = 0; k < full.feature_names.size(); ++k) {
+    std::printf("  %-34s %+.4f%s\n", full.feature_names[k].c_str(),
+                full.weights[k],
+                std::fabs(full.weights[k]) < 1e-9 ? "  (pruned)" : "");
+  }
+
+  RunBenchmarks(argc, argv);
+  return 0;
+}

@@ -1,0 +1,45 @@
+#ifndef CFNET_BENCH_BENCH_UTIL_H_
+#define CFNET_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiments.h"
+#include "core/platform.h"
+#include "util/flags.h"
+
+namespace cfnet::bench {
+
+/// A fully-collected pipeline (world -> crawl -> parsed snapshots) shared by
+/// the figure benches. Constructed once per process.
+struct Testbed {
+  std::unique_ptr<core::ExploratoryPlatform> platform;
+  std::unique_ptr<core::AnalysisInputs> inputs;
+  std::unique_ptr<core::ExperimentSuite> suite;
+  double scale = 0;
+};
+
+/// Builds (or returns the cached) testbed. The default scale keeps every
+/// bench under a few seconds; pass --scale=1.0 for a paper-sized run.
+Testbed& GetTestbed(const FlagParser& flags, double default_scale = 0.05,
+                    int coda_communities = 96, int coda_iterations = 25);
+
+/// Prints "<name>: paper=<paper> measured=<measured>" rows consistently.
+void PrintComparison(const std::string& name, const std::string& paper,
+                     const std::string& measured);
+
+/// Splits argv into (ours, benchmark's): google-benchmark aborts on unknown
+/// flags, so only --benchmark_* flags are forwarded.
+std::vector<char*> BenchmarkArgs(int argc, char** argv);
+
+/// Runs google-benchmark with the filtered args (call after registering
+/// benchmarks).
+void RunBenchmarks(int argc, char** argv);
+
+/// Prints a section header.
+void Section(const std::string& title);
+
+}  // namespace cfnet::bench
+
+#endif  // CFNET_BENCH_BENCH_UTIL_H_

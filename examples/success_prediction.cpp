@@ -1,0 +1,93 @@
+// Success prediction (paper §7, "future work", implemented): trains a
+// logistic-regression model from company profile, social-engagement and
+// investor-graph features to fundraising success, with L1 feature
+// selection to surface which graph statistics carry signal — and compares
+// a graph-features-on vs graph-features-off model, testing the paper's
+// hypothesis that network position predicts outcomes.
+//
+// Usage: success_prediction [--scale=0.05] [--l1=0.002]
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/investor_graph.h"
+#include "core/platform.h"
+#include "core/prediction.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace cfnet;
+
+namespace {
+
+void PrintModel(const char* title, const core::PredictionResult& model) {
+  std::printf("\n%s\n", title);
+  std::printf("  train n=%zu, test n=%zu; train AUC %.3f, TEST AUC %.3f, "
+              "test log-loss %.4f\n",
+              model.train_size, model.test_size, model.train_auc,
+              model.test_auc, model.test_log_loss);
+  std::printf("  top-decile lift: %.1fx the base success rate\n",
+              model.top_decile_lift);
+  AsciiTable table({"feature", "weight (standardized)"});
+  for (size_t k = 0; k < model.feature_names.size(); ++k) {
+    table.AddRow({model.feature_names[k],
+                  StrFormat("%+.4f%s", model.weights[k],
+                            std::fabs(model.weights[k]) < 1e-9 ? "  (pruned)"
+                                                               : "")});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+
+  core::ExploratoryPlatform::Options options;
+  options.world.scale = flags.GetDouble("scale", 0.05);
+  options.crawl.num_workers = static_cast<int>(flags.GetInt("workers", 8));
+  core::ExploratoryPlatform platform(options);
+  std::printf("Crawling a scale-%.2f world...\n", options.world.scale);
+  if (Status s = platform.CollectData(); !s.ok()) {
+    std::fprintf(stderr, "crawl failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto inputs = platform.LoadInputs();
+  if (!inputs.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", inputs.status().ToString().c_str());
+    return 1;
+  }
+  graph::BipartiteGraph investor_graph =
+      core::BuildInvestorGraph(platform.context(), *inputs);
+
+  core::TrainConfig config;
+  config.l1 = flags.GetDouble("l1", 0.002);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 20160626));
+
+  // Full model (profile + engagement + graph features).
+  auto full_examples = core::BuildSuccessFeatures(
+      platform.context(), *inputs, investor_graph, /*include_graph=*/true);
+  core::PredictionResult full =
+      core::TrainSuccessPredictor(full_examples, config);
+  PrintModel("Full model (profile + engagement + investor-graph features):",
+             full);
+
+  // Ablated model: no graph features.
+  auto no_graph_examples = core::BuildSuccessFeatures(
+      platform.context(), *inputs, investor_graph, /*include_graph=*/false);
+  core::PredictionResult no_graph =
+      core::TrainSuccessPredictor(no_graph_examples, config);
+  PrintModel("Ablated model (graph features zeroed):", no_graph);
+
+  std::printf("\nGraph features move test AUC %.3f -> %.3f — %s the §7 "
+              "hypothesis that network position predicts fundraising "
+              "success.\n",
+              no_graph.test_auc, full.test_auc,
+              full.test_auc > no_graph.test_auc + 0.01 ? "supporting"
+                                                       : "not supporting");
+  std::printf("(Caveat: investor in-degree is partly an outcome of funding, "
+              "not only a predictor — the longitudinal pipeline is the "
+              "place to separate the two.)\n");
+  return 0;
+}

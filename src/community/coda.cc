@@ -1,0 +1,237 @@
+#include "community/coda.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cfnet::community {
+namespace {
+
+constexpr double kMinDot = 1e-10;
+
+double Dot(const double* a, const double* b, int c) {
+  double s = 0;
+  for (int i = 0; i < c; ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+CodaResult Coda::Fit(const graph::BipartiteGraph& g) const {
+  CodaResult result;
+  const size_t nl = g.num_left();
+  const size_t nr = g.num_right();
+  const int c = std::max(1, config_.num_communities);
+  result.investor_communities.num_nodes = nl;
+  result.company_communities.num_nodes = nr;
+  if (nl == 0 || nr == 0 || g.num_edges() == 0) return result;
+
+  std::vector<double> f(nl * static_cast<size_t>(c));
+  std::vector<double> h(nr * static_cast<size_t>(c));
+  std::vector<double> sum_f(static_cast<size_t>(c), 0);
+  std::vector<double> sum_h(static_cast<size_t>(c), 0);
+
+  // Init so that an average dot product matches the graph density.
+  const double density = static_cast<double>(g.num_edges()) /
+                         (static_cast<double>(nl) * static_cast<double>(nr));
+  const double init_mean = std::sqrt(std::max(density, 1e-12) /
+                                     static_cast<double>(c));
+  Rng rng(config_.seed);
+  for (double& x : f) x = init_mean * rng.Uniform(0.5, 1.5);
+  for (double& x : h) x = init_mean * rng.Uniform(0.5, 1.5);
+  for (size_t u = 0; u < nl; ++u) {
+    for (int k = 0; k < c; ++k) sum_f[static_cast<size_t>(k)] += f[u * c + k];
+  }
+  for (size_t v = 0; v < nr; ++v) {
+    for (int k = 0; k < c; ++k) sum_h[static_cast<size_t>(k)] += h[v * c + k];
+  }
+
+  ThreadPool pool(config_.num_threads > 0
+                      ? static_cast<size_t>(config_.num_threads)
+                      : ThreadPool::DefaultParallelism());
+
+  // Local objective of one row x (F_u against its out-neighborhood, or H_v
+  // against its in-neighborhood):
+  //   l(x) = sum_{nbr} log(1 - exp(-x . Y_nbr)) - x . rest
+  // where rest = (column sums of the other side) - (sum over neighbors).
+  auto row_objective = [c](const double* x, const std::vector<const double*>& nbrs,
+                           const double* rest) {
+    double obj = 0;
+    for (const double* y : nbrs) {
+      double dot = std::max(Dot(x, y, c), kMinDot);
+      obj += std::log1p(-std::exp(-dot));
+    }
+    obj -= Dot(x, rest, c);
+    return obj;
+  };
+
+  auto update_row = [&](double* x, const std::vector<const double*>& nbrs,
+                        const double* rest) {
+    // Gradient: sum_nbr Y / expm1(dot) - rest.
+    std::vector<double> grad(static_cast<size_t>(c), 0);
+    for (const double* y : nbrs) {
+      double dot = std::max(Dot(x, y, c), kMinDot);
+      double w = 1.0 / std::expm1(dot);  // exp(-d)/(1-exp(-d))
+      w = std::min(w, 1.0 / kMinDot);
+      for (int k = 0; k < c; ++k) grad[static_cast<size_t>(k)] += w * y[k];
+    }
+    for (int k = 0; k < c; ++k) grad[static_cast<size_t>(k)] -= rest[k];
+
+    double base = row_objective(x, nbrs, rest);
+    std::vector<double> candidate(static_cast<size_t>(c));
+    double step = config_.initial_step;
+    for (int bt = 0; bt <= config_.max_backtracks; ++bt) {
+      double gdx = 0;
+      for (int k = 0; k < c; ++k) {
+        double nx = std::clamp(x[k] + step * grad[static_cast<size_t>(k)], 0.0,
+                               config_.max_affiliation);
+        candidate[static_cast<size_t>(k)] = nx;
+        gdx += grad[static_cast<size_t>(k)] * (nx - x[k]);
+      }
+      if (gdx <= 0) break;  // projected step is not an ascent direction
+      double obj = row_objective(candidate.data(), nbrs, rest);
+      if (obj >= base + 1e-4 * gdx) {  // Armijo
+        for (int k = 0; k < c; ++k) x[k] = candidate[static_cast<size_t>(k)];
+        return;
+      }
+      step *= config_.step_beta;
+    }
+    // No improving step found: leave the row unchanged.
+  };
+
+  auto parallel_rows = [&](size_t n, auto&& fn) {
+    const size_t workers = pool.num_threads();
+    std::vector<std::future<void>> futs;
+    for (size_t w = 0; w < workers; ++w) {
+      futs.push_back(pool.Submit([&, w]() {
+        for (size_t i = w; i < n; i += workers) fn(i);
+      }));
+    }
+    for (auto& fu : futs) fu.get();
+  };
+
+  auto log_likelihood = [&]() {
+    double ll = 0;
+    double edge_dot_sum = 0;
+    for (uint32_t u = 0; u < nl; ++u) {
+      const double* fu = &f[u * static_cast<size_t>(c)];
+      for (uint32_t v : g.OutNeighbors(u)) {
+        double dot =
+            std::max(Dot(fu, &h[v * static_cast<size_t>(c)], c), kMinDot);
+        ll += std::log1p(-std::exp(-dot));
+        edge_dot_sum += dot;
+      }
+    }
+    double all_pairs = Dot(sum_f.data(), sum_h.data(), c);
+    ll -= all_pairs - edge_dot_sum;
+    return ll;
+  };
+
+  double prev_ll = log_likelihood();
+  result.log_likelihood_trace.push_back(prev_ll);
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    // --- F phase (investor rows; H and sum_h fixed). ---------------------
+    parallel_rows(nl, [&](size_t u) {
+      const double* fu = &f[u * static_cast<size_t>(c)];
+      auto nbrs_span = g.OutNeighbors(static_cast<uint32_t>(u));
+      std::vector<const double*> nbrs;
+      nbrs.reserve(nbrs_span.size());
+      std::vector<double> rest(sum_h);
+      for (uint32_t v : nbrs_span) {
+        const double* hv = &h[v * static_cast<size_t>(c)];
+        nbrs.push_back(hv);
+        for (int k = 0; k < c; ++k) rest[static_cast<size_t>(k)] -= hv[k];
+      }
+      for (int k = 0; k < c; ++k) {
+        rest[static_cast<size_t>(k)] = std::max(0.0, rest[static_cast<size_t>(k)]);
+      }
+      update_row(&f[u * static_cast<size_t>(c)], nbrs, rest.data());
+      (void)fu;
+    });
+    std::fill(sum_f.begin(), sum_f.end(), 0.0);
+    for (size_t u = 0; u < nl; ++u) {
+      for (int k = 0; k < c; ++k) {
+        sum_f[static_cast<size_t>(k)] += f[u * static_cast<size_t>(c) + k];
+      }
+    }
+
+    // --- H phase (company rows; F and sum_f fixed). ----------------------
+    parallel_rows(nr, [&](size_t v) {
+      auto nbrs_span = g.InNeighbors(static_cast<uint32_t>(v));
+      std::vector<const double*> nbrs;
+      nbrs.reserve(nbrs_span.size());
+      std::vector<double> rest(sum_f);
+      for (uint32_t u : nbrs_span) {
+        const double* fu = &f[u * static_cast<size_t>(c)];
+        nbrs.push_back(fu);
+        for (int k = 0; k < c; ++k) rest[static_cast<size_t>(k)] -= fu[k];
+      }
+      for (int k = 0; k < c; ++k) {
+        rest[static_cast<size_t>(k)] = std::max(0.0, rest[static_cast<size_t>(k)]);
+      }
+      update_row(&h[v * static_cast<size_t>(c)], nbrs, rest.data());
+    });
+    std::fill(sum_h.begin(), sum_h.end(), 0.0);
+    for (size_t v = 0; v < nr; ++v) {
+      for (int k = 0; k < c; ++k) {
+        sum_h[static_cast<size_t>(k)] += h[v * static_cast<size_t>(c) + k];
+      }
+    }
+
+    double ll = log_likelihood();
+    result.log_likelihood_trace.push_back(ll);
+    result.iterations = iter + 1;
+    double denom = std::fabs(prev_ll) > 1e-12 ? std::fabs(prev_ll) : 1.0;
+    if (ll - prev_ll < config_.tolerance * denom) {
+      prev_ll = ll;
+      break;
+    }
+    prev_ll = ll;
+  }
+  result.final_log_likelihood = prev_ll;
+
+  // --- membership assignment -------------------------------------------
+  double delta = config_.membership_threshold;
+  if (delta <= 0) {
+    double eps = std::clamp(density, 1e-12, 1.0 - 1e-12);
+    delta = std::sqrt(-std::log1p(-eps));
+  }
+  result.threshold_used = delta;
+  result.investor_communities.communities.assign(static_cast<size_t>(c), {});
+  result.company_communities.communities.assign(static_cast<size_t>(c), {});
+  for (uint32_t u = 0; u < nl; ++u) {
+    for (int k = 0; k < c; ++k) {
+      if (f[u * static_cast<size_t>(c) + k] >= delta) {
+        result.investor_communities.communities[static_cast<size_t>(k)]
+            .push_back(u);
+      }
+    }
+  }
+  for (uint32_t v = 0; v < nr; ++v) {
+    for (int k = 0; k < c; ++k) {
+      if (h[v * static_cast<size_t>(c) + k] >= delta) {
+        result.company_communities.communities[static_cast<size_t>(k)]
+            .push_back(v);
+      }
+    }
+  }
+  result.investor_communities.PruneSmall(config_.min_community_size);
+  result.company_communities.PruneSmall(config_.min_community_size);
+  result.num_factors = c;
+  result.f = std::move(f);
+  result.h = std::move(h);
+  return result;
+}
+
+double CodaResult::EdgeProbability(uint32_t left, uint32_t right) const {
+  if (num_factors == 0) return 0;
+  const size_t c = static_cast<size_t>(num_factors);
+  double dot = Dot(&f[left * c], &h[right * c], num_factors);
+  return -std::expm1(-std::max(dot, kMinDot));
+}
+
+}  // namespace cfnet::community

@@ -1,0 +1,56 @@
+#ifndef CFNET_COMMUNITY_COMMUNITY_SET_H_
+#define CFNET_COMMUNITY_COMMUNITY_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cfnet::community {
+
+/// A (possibly overlapping) set of communities over nodes [0, num_nodes).
+/// For the investor graph, node indices are the bipartite graph's left
+/// (investor) dense indices.
+struct CommunitySet {
+  size_t num_nodes = 0;
+  /// communities[c] = sorted, deduplicated member node indices.
+  std::vector<std::vector<uint32_t>> communities;
+
+  size_t size() const { return communities.size(); }
+
+  double AverageSize() const {
+    if (communities.empty()) return 0;
+    size_t total = 0;
+    for (const auto& c : communities) total += c.size();
+    return static_cast<double>(total) / static_cast<double>(communities.size());
+  }
+
+  /// Drops communities smaller than `min_size` members.
+  void PruneSmall(size_t min_size) {
+    std::vector<std::vector<uint32_t>> kept;
+    for (auto& c : communities) {
+      if (c.size() >= min_size) kept.push_back(std::move(c));
+    }
+    communities = std::move(kept);
+  }
+
+  /// Builds from a disjoint label assignment (label < 0 = unassigned).
+  static CommunitySet FromLabels(const std::vector<int>& labels) {
+    CommunitySet out;
+    out.num_nodes = labels.size();
+    int max_label = -1;
+    for (int l : labels) max_label = l > max_label ? l : max_label;
+    out.communities.resize(static_cast<size_t>(max_label + 1));
+    for (uint32_t v = 0; v < labels.size(); ++v) {
+      if (labels[v] >= 0) {
+        out.communities[static_cast<size_t>(labels[v])].push_back(v);
+      }
+    }
+    // Remove empty label slots.
+    out.PruneSmall(1);
+    return out;
+  }
+};
+
+}  // namespace cfnet::community
+
+#endif  // CFNET_COMMUNITY_COMMUNITY_SET_H_

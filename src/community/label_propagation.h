@@ -1,0 +1,32 @@
+#ifndef CFNET_COMMUNITY_LABEL_PROPAGATION_H_
+#define CFNET_COMMUNITY_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "community/community_set.h"
+#include "graph/weighted_graph.h"
+
+namespace cfnet::community {
+
+struct LabelPropagationConfig {
+  int max_iterations = 50;
+  uint64_t seed = 1;
+};
+
+struct LabelPropagationResult {
+  CommunitySet communities;
+  std::vector<int> labels;  // -1 for isolated nodes
+  int iterations = 0;
+};
+
+/// Asynchronous weighted label propagation (Raghavan et al. 2007): each
+/// node repeatedly adopts the label with the largest incident edge weight,
+/// in random order, until stable. Fast, parameter-free baseline on the
+/// co-investment projection.
+LabelPropagationResult RunLabelPropagation(
+    const graph::WeightedGraph& g, const LabelPropagationConfig& config = {});
+
+}  // namespace cfnet::community
+
+#endif  // CFNET_COMMUNITY_LABEL_PROPAGATION_H_

@@ -1,0 +1,174 @@
+#include "community/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace cfnet::community {
+namespace {
+
+/// One Louvain level: local node moves until no modularity gain. Returns
+/// the per-node community labels within this level's graph.
+std::vector<int> LocalMovePhase(const graph::WeightedGraph& g,
+                                const LouvainConfig& config, Rng& rng,
+                                bool* any_move) {
+  const size_t n = g.num_nodes();
+  std::vector<int> label(n);
+  std::iota(label.begin(), label.end(), 0);
+  const double m2 = g.TotalWeight2m();
+  *any_move = false;
+  if (m2 <= 0) return label;
+
+  // sigma_tot[c]: total weighted degree of community c.
+  std::vector<double> sigma_tot(n, 0);
+  for (uint32_t v = 0; v < n; ++v) sigma_tot[v] = g.WeightedDegree(v);
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  std::unordered_map<int, double> weight_to;  // community -> edge weight sum
+  for (int sweep = 0; sweep < config.max_sweeps_per_level; ++sweep) {
+    bool moved = false;
+    for (uint32_t v : order) {
+      const double k_v = g.WeightedDegree(v);
+      if (k_v <= 0) continue;
+      weight_to.clear();
+      auto nbrs = g.Neighbors(v);
+      auto ws = g.Weights(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        if (nbrs[i] == v) continue;  // self loops handled via degree
+        weight_to[label[nbrs[i]]] += ws[i];
+      }
+      const int old_c = label[v];
+      // Remove v from its community.
+      sigma_tot[static_cast<size_t>(old_c)] -= k_v;
+      double best_gain = 0;
+      int best_c = old_c;
+      double w_old = 0;
+      if (auto it = weight_to.find(old_c); it != weight_to.end()) {
+        w_old = it->second;
+      }
+      for (const auto& [cand, w_in] : weight_to) {
+        // Delta modularity of joining cand (relative to staying isolated):
+        //   w_in/m - k_v * sigma_tot[cand] / (2m^2) ... using 2m = m2:
+        double gain = (w_in - w_old) / m2 * 2.0 -
+                      k_v * (sigma_tot[static_cast<size_t>(cand)] -
+                             sigma_tot[static_cast<size_t>(old_c)]) /
+                          (m2 * m2) * 2.0;
+        if (gain > best_gain + config.min_modularity_gain) {
+          best_gain = gain;
+          best_c = cand;
+        }
+      }
+      sigma_tot[static_cast<size_t>(best_c)] += k_v;
+      if (best_c != old_c) {
+        label[v] = best_c;
+        moved = true;
+        *any_move = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return label;
+}
+
+/// Aggregates the graph by community labels (relabeled to 0..k-1).
+graph::WeightedGraph Aggregate(const graph::WeightedGraph& g,
+                               std::vector<int>& labels, size_t* num_out) {
+  // Compact labels.
+  std::unordered_map<int, int> remap;
+  for (int& l : labels) {
+    auto [it, inserted] = remap.try_emplace(l, static_cast<int>(remap.size()));
+    l = it->second;
+  }
+  *num_out = remap.size();
+  std::unordered_map<uint64_t, double> agg;
+  for (uint32_t v = 0; v < g.num_nodes(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    auto ws = g.Weights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] < v) continue;  // undirected: visit each edge once
+      double w = ws[i];
+      // A self-loop contributes two identical adjacency entries, both of
+      // which pass the filter above; halve to keep its true weight.
+      if (nbrs[i] == v) w *= 0.5;
+      uint32_t a = static_cast<uint32_t>(labels[v]);
+      uint32_t b = static_cast<uint32_t>(labels[nbrs[i]]);
+      if (a > b) std::swap(a, b);
+      agg[(static_cast<uint64_t>(a) << 32) | b] += w;
+    }
+  }
+  std::vector<std::tuple<uint32_t, uint32_t, double>> edges;
+  edges.reserve(agg.size());
+  for (const auto& [key, w] : agg) {
+    edges.emplace_back(static_cast<uint32_t>(key >> 32),
+                       static_cast<uint32_t>(key & 0xffffffffull), w);
+  }
+  return graph::WeightedGraph::FromEdges(*num_out, edges);
+}
+
+}  // namespace
+
+double Modularity(const graph::WeightedGraph& g, const std::vector<int>& labels) {
+  const double m2 = g.TotalWeight2m();
+  if (m2 <= 0) return 0;
+  std::unordered_map<int, double> sigma_tot;
+  std::unordered_map<int, double> sigma_in;
+  for (uint32_t v = 0; v < g.num_nodes(); ++v) {
+    if (labels[v] < 0) continue;
+    sigma_tot[labels[v]] += g.WeightedDegree(v);
+    auto nbrs = g.Neighbors(v);
+    auto ws = g.Weights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (labels[nbrs[i]] == labels[v]) sigma_in[labels[v]] += ws[i];
+    }
+  }
+  double q = 0;
+  for (const auto& [c, st] : sigma_tot) {
+    double in = 0;
+    if (auto it = sigma_in.find(c); it != sigma_in.end()) in = it->second;
+    q += in / m2 - (st / m2) * (st / m2);
+  }
+  return q;
+}
+
+LouvainResult RunLouvain(const graph::WeightedGraph& g,
+                         const LouvainConfig& config) {
+  LouvainResult result;
+  const size_t n = g.num_nodes();
+  result.labels.assign(n, -1);
+  if (n == 0) return result;
+
+  Rng rng(config.seed);
+  // node_of_level maps original node -> current-level node.
+  std::vector<int> node_map(n);
+  std::iota(node_map.begin(), node_map.end(), 0);
+  graph::WeightedGraph current = g;
+
+  for (int level = 0; level < config.max_levels; ++level) {
+    bool any_move = false;
+    std::vector<int> labels = LocalMovePhase(current, config, rng, &any_move);
+    size_t num_comms = 0;
+    graph::WeightedGraph next = Aggregate(current, labels, &num_comms);
+    for (size_t v = 0; v < n; ++v) {
+      node_map[v] = labels[static_cast<size_t>(node_map[v])];
+    }
+    result.levels = level + 1;
+    if (!any_move || num_comms == current.num_nodes()) break;
+    current = std::move(next);
+  }
+
+  // Final labels: omit isolated nodes (zero degree in the original graph).
+  for (uint32_t v = 0; v < n; ++v) {
+    result.labels[v] = g.WeightedDegree(v) > 0 ? node_map[v] : -1;
+  }
+  result.communities = CommunitySet::FromLabels(result.labels);
+  result.modularity = Modularity(g, result.labels);
+  return result;
+}
+
+}  // namespace cfnet::community

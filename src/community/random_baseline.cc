@@ -1,0 +1,21 @@
+#include "community/random_baseline.h"
+
+#include "util/rng.h"
+
+namespace cfnet::community {
+
+CommunitySet RandomCommunities(size_t num_nodes, size_t num_communities,
+                               uint64_t seed) {
+  CommunitySet out;
+  out.num_nodes = num_nodes;
+  if (num_communities == 0) return out;
+  out.communities.resize(num_communities);
+  Rng rng(seed);
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    out.communities[rng.NextUint64(num_communities)].push_back(v);
+  }
+  out.PruneSmall(1);
+  return out;
+}
+
+}  // namespace cfnet::community

@@ -1,0 +1,18 @@
+#ifndef CFNET_COMMUNITY_RANDOM_BASELINE_H_
+#define CFNET_COMMUNITY_RANDOM_BASELINE_H_
+
+#include <cstdint>
+
+#include "community/community_set.h"
+
+namespace cfnet::community {
+
+/// Uniformly random partition of `num_nodes` nodes into `num_communities`
+/// groups — the paper's "randomized community of investors" comparison
+/// point (its shared-investor percentage of 5.8% vs 23.1% for CoDA).
+CommunitySet RandomCommunities(size_t num_nodes, size_t num_communities,
+                               uint64_t seed);
+
+}  // namespace cfnet::community
+
+#endif  // CFNET_COMMUNITY_RANDOM_BASELINE_H_

@@ -1,0 +1,92 @@
+#include "core/community_metrics.h"
+
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace cfnet::core {
+
+std::vector<double> SharedInvestmentSizes(const graph::BipartiteGraph& g,
+                                          const std::vector<uint32_t>& members,
+                                          size_t max_pairs, uint64_t seed) {
+  std::vector<double> out;
+  const size_t m = members.size();
+  if (m < 2) return out;
+  const size_t all_pairs = m * (m - 1) / 2;
+  if (all_pairs <= max_pairs) {
+    out.reserve(all_pairs);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        out.push_back(static_cast<double>(
+            g.SharedOutNeighbors(members[i], members[j])));
+      }
+    }
+    return out;
+  }
+  Rng rng(seed);
+  out.reserve(max_pairs);
+  for (size_t s = 0; s < max_pairs; ++s) {
+    size_t i = static_cast<size_t>(rng.NextUint64(m));
+    size_t j = static_cast<size_t>(rng.NextUint64(m - 1));
+    if (j >= i) ++j;
+    out.push_back(
+        static_cast<double>(g.SharedOutNeighbors(members[i], members[j])));
+  }
+  return out;
+}
+
+double MeanSharedInvestmentSize(const graph::BipartiteGraph& g,
+                                const std::vector<uint32_t>& members,
+                                size_t max_pairs, uint64_t seed) {
+  std::vector<double> sizes = SharedInvestmentSizes(g, members, max_pairs, seed);
+  if (sizes.empty()) return 0;
+  double sum = 0;
+  for (double s : sizes) sum += s;
+  return sum / static_cast<double>(sizes.size());
+}
+
+double SharedInvestorCompanyPercent(const graph::BipartiteGraph& g,
+                                    const std::vector<uint32_t>& members,
+                                    size_t k) {
+  std::unordered_map<uint32_t, size_t> company_investors;
+  for (uint32_t u : members) {
+    for (uint32_t c : g.OutNeighbors(u)) ++company_investors[c];
+  }
+  if (company_investors.empty()) return 0;
+  size_t shared = 0;
+  for (const auto& [c, count] : company_investors) {
+    if (count >= k) ++shared;
+  }
+  return 100.0 * static_cast<double>(shared) /
+         static_cast<double>(company_investors.size());
+}
+
+double MeanSharedInvestorCompanyPercent(const graph::BipartiteGraph& g,
+                                        const community::CommunitySet& set,
+                                        size_t k) {
+  if (set.communities.empty()) return 0;
+  double sum = 0;
+  for (const auto& members : set.communities) {
+    sum += SharedInvestorCompanyPercent(g, members, k);
+  }
+  return sum / static_cast<double>(set.communities.size());
+}
+
+std::vector<double> GlobalSharedInvestmentSample(const graph::BipartiteGraph& g,
+                                                 size_t num_pairs,
+                                                 uint64_t seed) {
+  std::vector<double> out;
+  const size_t n = g.num_left();
+  if (n < 2) return out;
+  Rng rng(seed);
+  out.reserve(num_pairs);
+  for (size_t s = 0; s < num_pairs; ++s) {
+    uint32_t i = static_cast<uint32_t>(rng.NextUint64(n));
+    uint32_t j = static_cast<uint32_t>(rng.NextUint64(n - 1));
+    if (j >= i) ++j;
+    out.push_back(static_cast<double>(g.SharedOutNeighbors(i, j)));
+  }
+  return out;
+}
+
+}  // namespace cfnet::core

@@ -1,0 +1,48 @@
+#ifndef CFNET_CORE_COMMUNITY_METRICS_H_
+#define CFNET_CORE_COMMUNITY_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "community/community_set.h"
+#include "graph/bipartite_graph.h"
+
+namespace cfnet::core {
+
+/// The paper's two community-strength metrics (§5.3), computed against the
+/// investor->company bipartite graph.
+
+/// Pairwise shared-investment sizes |C_i ∩ C_j| for investor pairs within
+/// one community. All pairs when the pair count is at most `max_pairs`;
+/// otherwise `max_pairs` pairs sampled uniformly (seeded).
+std::vector<double> SharedInvestmentSizes(const graph::BipartiteGraph& g,
+                                          const std::vector<uint32_t>& members,
+                                          size_t max_pairs = 2000000,
+                                          uint64_t seed = 1);
+
+/// Mean of SharedInvestmentSizes — "average shared investment size".
+double MeanSharedInvestmentSize(const graph::BipartiteGraph& g,
+                                const std::vector<uint32_t>& members,
+                                size_t max_pairs = 2000000, uint64_t seed = 1);
+
+/// Percentage (0-100) of companies invested in by community members that
+/// have at least `k` investors from within the community.
+double SharedInvestorCompanyPercent(const graph::BipartiteGraph& g,
+                                    const std::vector<uint32_t>& members,
+                                    size_t k = 2);
+
+/// Mean SharedInvestorCompanyPercent over all communities of a set.
+double MeanSharedInvestorCompanyPercent(const graph::BipartiteGraph& g,
+                                        const community::CommunitySet& set,
+                                        size_t k = 2);
+
+/// Shared-investment sizes of `num_pairs` i.i.d. uniformly sampled investor
+/// pairs across the whole graph — the paper's 800,000-pair global CDF
+/// estimate (quantify accuracy with stats::DkwEpsilon).
+std::vector<double> GlobalSharedInvestmentSample(const graph::BipartiteGraph& g,
+                                                 size_t num_pairs,
+                                                 uint64_t seed = 1);
+
+}  // namespace cfnet::core
+
+#endif  // CFNET_CORE_COMMUNITY_METRICS_H_

@@ -1,0 +1,54 @@
+#ifndef CFNET_CORE_ENGAGEMENT_ANALYSIS_H_
+#define CFNET_CORE_ENGAGEMENT_ANALYSIS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/platform.h"
+#include "dataflow/context.h"
+
+namespace cfnet::core {
+
+/// One row of the Figure 6 table.
+struct EngagementRow {
+  std::string label;
+  int64_t num_companies = 0;
+  double pct_of_companies = 0;  // of all crawled companies
+  double success_pct = 0;       // fundraising success within the category
+
+  /// Category-vs-complement association with funding success (2x2
+  /// chi-square with Yates correction; Haldane-corrected odds ratio) —
+  /// quantifies the paper's qualitative "significant difference" claims.
+  double chi_square_p_value = 1;
+  double odds_ratio = 1;
+};
+
+/// The full Figure 6 reproduction: every category of social presence /
+/// engagement with its company count and success rate, plus the data-driven
+/// split points (the paper's 652 likes / 343 tweets / 339 followers are the
+/// medians of its crawl; we compute ours the same way).
+struct EngagementTable {
+  int64_t total_companies = 0;
+  int64_t funded_companies = 0;
+  double fb_likes_median = 0;
+  double tw_tweets_median = 0;
+  double tw_followers_median = 0;
+  int64_t twitter_nonnull_followers = 0;
+  std::vector<EngagementRow> rows;
+
+  /// Finds a row by label ("" when absent).
+  const EngagementRow* FindRow(const std::string& label) const;
+};
+
+/// Computes the social-engagement-vs-funding table (§4) from the crawled
+/// snapshots, as a MiniSpark pipeline: success is derived by joining
+/// startups against CrunchBase funding records; engagement joins against
+/// the Facebook/Twitter profile snapshots.
+EngagementTable AnalyzeEngagement(
+    std::shared_ptr<dataflow::ExecutionContext> ctx,
+    const AnalysisInputs& inputs);
+
+}  // namespace cfnet::core
+
+#endif  // CFNET_CORE_ENGAGEMENT_ANALYSIS_H_

@@ -1,0 +1,297 @@
+#include "core/experiments.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dataflow/dataset.h"
+#include "community/random_baseline.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "viz/layout.h"
+#include "viz/render.h"
+
+namespace cfnet::core {
+
+graph::BipartiteGraph ToyCommunityExample1() {
+  // Investors 1..3, companies 101..103:
+  //   I1 -> {X, Y}; I2 -> {X, Y, Z}; I3 -> {Y, Z}
+  // Pairwise shared: 2, 1, 2 -> mean 5/3; all 3 companies have >= 2
+  // community investors -> 100%.
+  return graph::BipartiteGraph::FromEdges({
+      {1, 101}, {1, 102},
+      {2, 101}, {2, 102}, {2, 103},
+      {3, 102}, {3, 103},
+  });
+}
+
+graph::BipartiteGraph ToyCommunityExample2() {
+  // I1 -> {X}; I2 -> {X, W}; I3 -> {V, U}
+  // Pairwise shared: 1, 0, 0 -> mean 1/3; only X of 4 companies has >= 2
+  // investors -> 25%.
+  return graph::BipartiteGraph::FromEdges({
+      {1, 101},
+      {2, 101}, {2, 102},
+      {3, 103}, {3, 104},
+  });
+}
+
+ExperimentSuite::ExperimentSuite(
+    std::shared_ptr<dataflow::ExecutionContext> ctx,
+    const AnalysisInputs& inputs, community::CodaConfig coda_config)
+    : ctx_(std::move(ctx)), inputs_(inputs), coda_config_(coda_config) {}
+
+const graph::BipartiteGraph& ExperimentSuite::investor_graph() {
+  if (!graph_.has_value()) {
+    graph_ = BuildInvestorGraph(ctx_, inputs_);
+  }
+  return *graph_;
+}
+
+const graph::BipartiteGraph& ExperimentSuite::filtered_graph() {
+  if (!filtered_.has_value()) {
+    filtered_ = investor_graph().FilterLeftByMinDegree(4);
+  }
+  return *filtered_;
+}
+
+const community::CodaResult& ExperimentSuite::coda() {
+  if (!coda_.has_value()) {
+    community::Coda detector(coda_config_);
+    coda_ = detector.Fit(filtered_graph());
+  }
+  return *coda_;
+}
+
+DatasetStatsResult ExperimentSuite::RunDatasetStats() {
+  using dataflow::Dataset;
+  DatasetStatsResult r;
+  r.companies = static_cast<int64_t>(inputs_.startups.size());
+  r.users = static_cast<int64_t>(inputs_.users.size());
+  r.crunchbase_profiles = static_cast<int64_t>(inputs_.crunchbase.size());
+  r.facebook_profiles = static_cast<int64_t>(inputs_.facebook.size());
+  r.twitter_profiles = static_cast<int64_t>(inputs_.twitter.size());
+
+  struct RoleCounts {
+    int64_t investors = 0;
+    int64_t founders = 0;
+    int64_t employees = 0;
+    RoleCounts Add(const RoleCounts& o) const {
+      return {investors + o.investors, founders + o.founders,
+              employees + o.employees};
+    }
+  };
+  RoleCounts roles = Dataset<UserRecord>::FromVector(ctx_, inputs_.users)
+                         .Map([](const UserRecord& u) {
+                           return RoleCounts{u.is_investor ? 1 : 0,
+                                             u.is_founder ? 1 : 0,
+                                             u.is_employee ? 1 : 0};
+                         })
+                         .Reduce([](const RoleCounts& a, const RoleCounts& b) {
+                           return a.Add(b);
+                         },
+                                 RoleCounts{});
+  r.investors = roles.investors;
+  r.founders = roles.founders;
+  r.employees = roles.employees;
+  if (r.users > 0) {
+    r.investor_pct = 100.0 * static_cast<double>(r.investors) /
+                     static_cast<double>(r.users);
+    r.founder_pct =
+        100.0 * static_cast<double>(r.founders) / static_cast<double>(r.users);
+    r.employee_pct = 100.0 * static_cast<double>(r.employees) /
+                     static_cast<double>(r.users);
+  }
+  return r;
+}
+
+EngagementTable ExperimentSuite::RunEngagementTable() {
+  return AnalyzeEngagement(ctx_, inputs_);
+}
+
+Fig3Result ExperimentSuite::RunFig3(size_t cdf_points) {
+  Fig3Result r;
+  const graph::BipartiteGraph& g = investor_graph();
+  r.num_investors = g.num_left();
+  r.num_companies = g.num_right();
+  r.num_edges = g.num_edges();
+  r.avg_investors_per_company =
+      g.num_right() == 0 ? 0
+                         : static_cast<double>(g.num_edges()) /
+                               static_cast<double>(g.num_right());
+  r.degrees = SummarizeOutDegrees(g);
+
+  std::vector<double> degrees;
+  degrees.reserve(g.num_left());
+  for (uint32_t l = 0; l < g.num_left(); ++l) {
+    degrees.push_back(static_cast<double>(g.OutDegree(l)));
+  }
+  stats::Ecdf ecdf(std::move(degrees));
+  r.investment_cdf = ecdf.Curve(cdf_points);
+
+  // Mean companies followed per investor (from the AngelList user crawl).
+  double follow_sum = 0;
+  int64_t investor_users = 0;
+  for (const UserRecord& u : inputs_.users) {
+    if (u.is_investor) {
+      follow_sum += static_cast<double>(u.following_startup_count);
+      ++investor_users;
+    }
+  }
+  r.mean_investor_follows =
+      investor_users == 0 ? 0 : follow_sum / static_cast<double>(investor_users);
+  r.provenance = ComputeEdgeProvenance(ctx_, inputs_);
+  return r;
+}
+
+std::vector<std::pair<double, size_t>> ExperimentSuite::RankCommunities(
+    size_t min_size) {
+  const auto& set = coda().investor_communities;
+  const graph::BipartiteGraph& g = filtered_graph();
+  std::vector<std::pair<double, size_t>> ranked;
+  // At small world scales no community may clear the requested floor;
+  // relax it rather than returning nothing.
+  for (size_t floor = min_size; floor >= 2 && ranked.empty(); --floor) {
+    for (size_t ci = 0; ci < set.communities.size(); ++ci) {
+      if (set.communities[ci].size() < floor) continue;
+      double mean = MeanSharedInvestmentSize(g, set.communities[ci]);
+      ranked.emplace_back(mean, ci);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first;
+  });
+  return ranked;
+}
+
+Fig4Result ExperimentSuite::RunFig4(size_t num_strong, size_t global_pairs,
+                                    size_t min_community_size_for_ranking) {
+  Fig4Result r;
+  const graph::BipartiteGraph& g = filtered_graph();
+  const auto& coda_result = coda();
+  const auto& set = coda_result.investor_communities;
+  r.num_communities = set.communities.size();
+  r.avg_community_size = set.AverageSize();
+  r.coda_iterations = coda_result.iterations;
+  r.coda_log_likelihood = coda_result.final_log_likelihood;
+
+  auto ranked = RankCommunities(min_community_size_for_ranking);
+  for (size_t s = 0; s < std::min(num_strong, ranked.size()); ++s) {
+    size_t ci = ranked[s].second;
+    const auto& members = set.communities[ci];
+    std::vector<double> sizes = SharedInvestmentSizes(g, members);
+    Fig4Result::CommunityCurve curve;
+    curve.community_index = ci;
+    curve.size = members.size();
+    curve.mean_shared = ranked[s].first;
+    for (double v : sizes) curve.max_shared = std::max(curve.max_shared, v);
+    stats::Ecdf ecdf(std::move(sizes));
+    curve.curve = ecdf.Curve(64);
+    r.strongest.push_back(std::move(curve));
+  }
+
+  std::vector<double> global =
+      GlobalSharedInvestmentSample(investor_graph(), global_pairs);
+  r.global_pairs = global.size();
+  r.dkw_epsilon = stats::DkwEpsilon(global.size(), 0.01);
+  stats::Ecdf global_ecdf(std::move(global));
+  r.global_curve = global_ecdf.Curve(64);
+  return r;
+}
+
+Fig5Result ExperimentSuite::RunFig5(size_t k, uint64_t random_seed) {
+  Fig5Result r;
+  const graph::BipartiteGraph& g = filtered_graph();
+  const auto& set = coda().investor_communities;
+  for (const auto& members : set.communities) {
+    r.community_percents.push_back(SharedInvestorCompanyPercent(g, members, k));
+  }
+  if (!r.community_percents.empty()) {
+    double sum = 0;
+    for (double p : r.community_percents) sum += p;
+    r.mean_percent = sum / static_cast<double>(r.community_percents.size());
+  }
+  community::CommunitySet random = community::RandomCommunities(
+      g.num_left(), std::max<size_t>(1, set.communities.size()), random_seed);
+  r.random_mean_percent = MeanSharedInvestorCompanyPercent(g, random, k);
+  r.kde = stats::GaussianKde(r.community_percents, 0, 100, 101);
+  return r;
+}
+
+namespace {
+
+Fig7Result::CommunityViz BuildCommunityViz(const graph::BipartiteGraph& g,
+                                           const std::vector<uint32_t>& members,
+                                           size_t community_index,
+                                           size_t max_companies,
+                                           const std::string& title) {
+  Fig7Result::CommunityViz out;
+  out.community_index = community_index;
+  out.num_investors = members.size();
+  out.mean_shared = MeanSharedInvestmentSize(g, members);
+  out.shared_investor_pct = SharedInvestorCompanyPercent(g, members, 2);
+
+  // Companies invested by the community, most-co-invested first.
+  std::unordered_map<uint32_t, size_t> weight;
+  for (uint32_t u : members) {
+    for (uint32_t c : g.OutNeighbors(u)) ++weight[c];
+  }
+  std::vector<std::pair<size_t, uint32_t>> by_weight;
+  by_weight.reserve(weight.size());
+  for (const auto& [c, w] : weight) by_weight.emplace_back(w, c);
+  std::sort(by_weight.rbegin(), by_weight.rend());
+  if (by_weight.size() > max_companies) by_weight.resize(max_companies);
+  out.num_companies = weight.size();
+
+  // Node table: investors first (blue), then companies (red) — matching
+  // the paper's Figure 7 color scheme.
+  std::vector<viz::NodeSpec> nodes;
+  std::unordered_map<uint32_t, uint32_t> investor_node;
+  std::unordered_map<uint32_t, uint32_t> company_node;
+  for (uint32_t u : members) {
+    investor_node[u] = static_cast<uint32_t>(nodes.size());
+    nodes.push_back({"investor " + std::to_string(g.LeftId(u)), "#4477cc", 6});
+  }
+  for (const auto& [w, c] : by_weight) {
+    company_node[c] = static_cast<uint32_t>(nodes.size());
+    nodes.push_back({"company " + std::to_string(g.RightId(c)), "#cc4444", 4});
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t u : members) {
+    for (uint32_t c : g.OutNeighbors(u)) {
+      auto it = company_node.find(c);
+      if (it != company_node.end()) {
+        edges.emplace_back(investor_node[u], it->second);
+      }
+    }
+  }
+  viz::LayoutConfig layout_config;
+  layout_config.iterations = 120;
+  layout_config.seed = 11 + community_index;
+  std::vector<viz::Point2D> pos =
+      viz::FruchtermanReingold(nodes.size(), edges, layout_config);
+  out.svg = viz::RenderSvg(nodes, pos, edges, 1000, 1000, title);
+  out.dot = viz::RenderDot(nodes, edges,
+                           "community_" + std::to_string(community_index));
+  return out;
+}
+
+}  // namespace
+
+Fig7Result ExperimentSuite::RunFig7(size_t min_community_size,
+                                    size_t max_companies_in_viz) {
+  Fig7Result r;
+  const graph::BipartiteGraph& g = filtered_graph();
+  const auto& set = coda().investor_communities;
+  auto ranked = RankCommunities(min_community_size);
+  if (ranked.empty()) return r;
+  size_t strong_ci = ranked.front().second;
+  size_t weak_ci = ranked.back().second;
+  r.strong = BuildCommunityViz(g, set.communities[strong_ci], strong_ci,
+                               max_companies_in_viz, "Strong community");
+  r.weak = BuildCommunityViz(g, set.communities[weak_ci], weak_ci,
+                             max_companies_in_viz, "Weak community");
+  return r;
+}
+
+}  // namespace cfnet::core

@@ -1,0 +1,134 @@
+#ifndef CFNET_CORE_EXPERIMENTS_H_
+#define CFNET_CORE_EXPERIMENTS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "community/coda.h"
+#include "core/community_metrics.h"
+#include "core/engagement_analysis.h"
+#include "core/investor_graph.h"
+#include "core/platform.h"
+#include "graph/bipartite_graph.h"
+#include "stats/stats.h"
+
+namespace cfnet::core {
+
+/// Figure 8's toy communities (used to validate the strength metrics):
+/// example 1 must yield mean shared size 5/3 and 100% shared-investor
+/// companies at K=2; example 2 yields 1/3 and 25%.
+graph::BipartiteGraph ToyCommunityExample1();
+graph::BipartiteGraph ToyCommunityExample2();
+
+/// §3 dataset statistics (crawl coverage and user roles).
+struct DatasetStatsResult {
+  int64_t companies = 0;
+  int64_t users = 0;
+  int64_t crunchbase_profiles = 0;
+  int64_t facebook_profiles = 0;
+  int64_t twitter_profiles = 0;
+  int64_t investors = 0;
+  int64_t founders = 0;
+  int64_t employees = 0;
+  double investor_pct = 0;
+  double founder_pct = 0;
+  double employee_pct = 0;
+};
+
+/// Figure 3 + §5.1 graph statistics.
+struct Fig3Result {
+  std::vector<stats::Ecdf::Point> investment_cdf;  // per-investor out-degree
+  graph::DegreeSummary degrees;
+  size_t num_investors = 0;
+  size_t num_companies = 0;
+  size_t num_edges = 0;
+  double avg_investors_per_company = 0;
+  double mean_investor_follows = 0;
+  EdgeProvenance provenance;
+};
+
+/// Figure 4: shared-investment-size CDFs for the strongest communities vs
+/// the global sampled estimate.
+struct Fig4Result {
+  struct CommunityCurve {
+    size_t community_index = 0;
+    size_t size = 0;
+    double mean_shared = 0;
+    double max_shared = 0;
+    std::vector<stats::Ecdf::Point> curve;
+  };
+  std::vector<CommunityCurve> strongest;  // descending by mean shared size
+  std::vector<stats::Ecdf::Point> global_curve;
+  size_t global_pairs = 0;
+  double dkw_epsilon = 0;   // at 99% confidence, paper: 0.0196 for n=800k
+  size_t num_communities = 0;
+  double avg_community_size = 0;
+  int coda_iterations = 0;
+  double coda_log_likelihood = 0;
+};
+
+/// Figure 5: distribution across communities of the percentage of
+/// companies with >= K shared investors.
+struct Fig5Result {
+  std::vector<double> community_percents;
+  double mean_percent = 0;            // paper: 23.1%
+  double random_mean_percent = 0;     // paper: 5.8%
+  std::vector<std::pair<double, double>> kde;  // smoothed PDF over [0,100]
+};
+
+/// Figure 7: visualization of one strong and one weak community.
+struct Fig7Result {
+  struct CommunityViz {
+    size_t community_index = 0;
+    size_t num_investors = 0;
+    size_t num_companies = 0;
+    double mean_shared = 0;
+    double shared_investor_pct = 0;
+    std::string svg;
+    std::string dot;
+  };
+  CommunityViz strong;
+  CommunityViz weak;
+};
+
+/// Shared experiment state: builds the merged investor graph, the >=4-
+/// investment filtered graph, and the CoDA fit once, then derives every
+/// §4/§5 figure from them. This mirrors the paper's pipeline order.
+class ExperimentSuite {
+ public:
+  ExperimentSuite(std::shared_ptr<dataflow::ExecutionContext> ctx,
+                  const AnalysisInputs& inputs,
+                  community::CodaConfig coda_config = {});
+
+  const graph::BipartiteGraph& investor_graph();
+  /// Investors with >= 4 investments (the §5.2 cleaning step).
+  const graph::BipartiteGraph& filtered_graph();
+  const community::CodaResult& coda();
+
+  DatasetStatsResult RunDatasetStats();
+  EngagementTable RunEngagementTable();
+  Fig3Result RunFig3(size_t cdf_points = 64);
+  Fig4Result RunFig4(size_t num_strong = 3, size_t global_pairs = 800000,
+                     size_t min_community_size_for_ranking = 8);
+  Fig5Result RunFig5(size_t k = 2, uint64_t random_seed = 7);
+  Fig7Result RunFig7(size_t min_community_size = 8,
+                     size_t max_companies_in_viz = 160);
+
+ private:
+  std::shared_ptr<dataflow::ExecutionContext> ctx_;
+  const AnalysisInputs& inputs_;
+  community::CodaConfig coda_config_;
+  std::optional<graph::BipartiteGraph> graph_;
+  std::optional<graph::BipartiteGraph> filtered_;
+  std::optional<community::CodaResult> coda_;
+
+  /// Communities ranked by mean shared size (indices into coda() result),
+  /// restricted to communities with at least `min_size` members.
+  std::vector<std::pair<double, size_t>> RankCommunities(size_t min_size);
+};
+
+}  // namespace cfnet::core
+
+#endif  // CFNET_CORE_EXPERIMENTS_H_

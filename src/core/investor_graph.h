@@ -1,0 +1,34 @@
+#ifndef CFNET_CORE_INVESTOR_GRAPH_H_
+#define CFNET_CORE_INVESTOR_GRAPH_H_
+
+#include <memory>
+
+#include "core/platform.h"
+#include "dataflow/context.h"
+#include "graph/bipartite_graph.h"
+
+namespace cfnet::core {
+
+/// §5.1 investor-graph generation: merges the AngelList-visible investment
+/// edges (user profiles) with the CrunchBase round investors into a single
+/// deduplicated edge set — "a parallel Spark query that merges AngelList
+/// and CrunchBase data" — and builds the investor->company bipartite graph.
+/// Investors with no investments never appear (by construction).
+graph::BipartiteGraph BuildInvestorGraph(
+    std::shared_ptr<dataflow::ExecutionContext> ctx,
+    const AnalysisInputs& inputs);
+
+/// How many edges each source contributed (for the merge's sanity stats).
+struct EdgeProvenance {
+  size_t angellist_edges = 0;
+  size_t crunchbase_edges = 0;
+  size_t merged_unique_edges = 0;
+};
+
+EdgeProvenance ComputeEdgeProvenance(
+    std::shared_ptr<dataflow::ExecutionContext> ctx,
+    const AnalysisInputs& inputs);
+
+}  // namespace cfnet::core
+
+#endif  // CFNET_CORE_INVESTOR_GRAPH_H_

@@ -1,0 +1,89 @@
+#include "core/platform.h"
+
+#include "dfs/jsonl.h"
+#include "util/logging.h"
+
+namespace cfnet::core {
+
+ExploratoryPlatform::ExploratoryPlatform(const Options& options)
+    : options_(options) {
+  world_ = std::make_unique<synth::World>(synth::World::Generate(options.world));
+  web_ = std::make_unique<net::SocialWeb>(world_.get());
+  dfs_ = std::make_unique<dfs::MiniDfs>(options.dfs);
+  crawler_ = std::make_unique<crawler::Crawler>(web_.get(), dfs_.get(),
+                                                options.crawl);
+  ctx_ = std::make_shared<dataflow::ExecutionContext>(
+      options.analytics_parallelism == 0 ? ThreadPool::DefaultParallelism()
+                                         : options.analytics_parallelism);
+}
+
+Status ExploratoryPlatform::CollectData() {
+  CFNET_RETURN_IF_ERROR(crawler_->Run());
+  collected_ = true;
+  cached_inputs_.reset();
+  return Status::OK();
+}
+
+Result<dataflow::Dataset<json::Json>> ExploratoryPlatform::LoadSnapshotDataset(
+    const std::string& dir) {
+  std::vector<std::string> files = dfs_->List(dir);
+  // One partition per snapshot shard; each task parses its whole file.
+  auto paths = dataflow::Dataset<std::string>::FromVector(
+      ctx_, files, std::max<size_t>(1, files.size()));
+  dfs::MiniDfs* dfs = dfs_.get();
+  auto docs = paths.FlatMap([dfs](const std::string& path) {
+    auto records = dfs::ReadJsonLines(*dfs, path);
+    CFNET_CHECK(records.ok()) << "snapshot read failed: "
+                              << records.status().ToString();
+    return std::move(records).value();
+  });
+  return docs;
+}
+
+Result<AnalysisInputs> ExploratoryPlatform::LoadInputs() {
+  if (!collected_) {
+    return Status::FailedPrecondition("call CollectData() before LoadInputs()");
+  }
+  if (cached_inputs_ != nullptr) return *cached_inputs_;
+
+  AnalysisInputs inputs;
+  {
+    CFNET_ASSIGN_OR_RETURN(auto docs,
+                           LoadSnapshotDataset(crawler_->StartupSnapshotDir()));
+    inputs.startups =
+        docs.Map([](const json::Json& j) { return StartupRecord::FromJson(j); })
+            .Collect();
+  }
+  {
+    CFNET_ASSIGN_OR_RETURN(auto docs,
+                           LoadSnapshotDataset(crawler_->UserSnapshotDir()));
+    inputs.users =
+        docs.Map([](const json::Json& j) { return UserRecord::FromJson(j); })
+            .Collect();
+  }
+  {
+    CFNET_ASSIGN_OR_RETURN(
+        auto docs, LoadSnapshotDataset(crawler_->CrunchBaseSnapshotDir()));
+    inputs.crunchbase =
+        docs.Map([](const json::Json& j) { return CrunchBaseRecord::FromJson(j); })
+            .Collect();
+  }
+  {
+    CFNET_ASSIGN_OR_RETURN(auto docs,
+                           LoadSnapshotDataset(crawler_->FacebookSnapshotDir()));
+    inputs.facebook =
+        docs.Map([](const json::Json& j) { return FacebookRecord::FromJson(j); })
+            .Collect();
+  }
+  {
+    CFNET_ASSIGN_OR_RETURN(auto docs,
+                           LoadSnapshotDataset(crawler_->TwitterSnapshotDir()));
+    inputs.twitter =
+        docs.Map([](const json::Json& j) { return TwitterRecord::FromJson(j); })
+            .Collect();
+  }
+  cached_inputs_ = std::make_unique<AnalysisInputs>(inputs);
+  return inputs;
+}
+
+}  // namespace cfnet::core

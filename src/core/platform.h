@@ -1,0 +1,87 @@
+#ifndef CFNET_CORE_PLATFORM_H_
+#define CFNET_CORE_PLATFORM_H_
+
+#include <memory>
+#include <vector>
+
+#include "crawler/crawler.h"
+#include "core/records.h"
+#include "dataflow/context.h"
+#include "dataflow/dataset.h"
+#include "dfs/dfs.h"
+#include "net/social_web.h"
+#include "synth/world.h"
+#include "util/result.h"
+
+namespace cfnet::core {
+
+/// Every typed snapshot, loaded and parsed — the input to all analyses.
+struct AnalysisInputs {
+  std::vector<StartupRecord> startups;
+  std::vector<UserRecord> users;
+  std::vector<CrunchBaseRecord> crunchbase;
+  std::vector<FacebookRecord> facebook;
+  std::vector<TwitterRecord> twitter;
+};
+
+/// The paper's "extensible exploratory platform" (Figure 2), end to end:
+/// a synthetic ground-truth world behind simulated Web APIs, parallel
+/// crawlers writing JSON snapshots into MiniDFS, and a MiniSpark execution
+/// context the analyses run on.
+///
+/// Typical use:
+///   ExploratoryPlatform::Options opts;
+///   opts.world.scale = 0.05;
+///   ExploratoryPlatform platform(opts);
+///   CFNET_CHECK(platform.CollectData().ok());
+///   auto inputs = platform.LoadInputs();
+class ExploratoryPlatform {
+ public:
+  struct Options {
+    synth::WorldConfig world;
+    crawler::CrawlConfig crawl;
+    dfs::DfsConfig dfs;
+    /// Worker threads for the analytics engine (0 = hardware default).
+    size_t analytics_parallelism = 0;
+  };
+
+  explicit ExploratoryPlatform(const Options& options);
+
+  ExploratoryPlatform(const ExploratoryPlatform&) = delete;
+  ExploratoryPlatform& operator=(const ExploratoryPlatform&) = delete;
+
+  /// Runs the full crawl pipeline (AngelList BFS + CrunchBase/Facebook/
+  /// Twitter augmentation), writing snapshots into the DFS.
+  Status CollectData();
+
+  /// Parses every snapshot into typed records (parallel, via the dataflow
+  /// engine). Requires CollectData() first. Cached after the first call.
+  Result<AnalysisInputs> LoadInputs();
+
+  /// Loads one snapshot directory as a dataset of parsed JSON documents.
+  Result<dataflow::Dataset<json::Json>> LoadSnapshotDataset(
+      const std::string& dir);
+
+  const synth::World& world() const { return *world_; }
+  net::SocialWeb& web() { return *web_; }
+  dfs::MiniDfs& dfs() { return *dfs_; }
+  crawler::Crawler& crawler() { return *crawler_; }
+  const crawler::CrawlReport& crawl_report() const {
+    return crawler_->report();
+  }
+  std::shared_ptr<dataflow::ExecutionContext> context() { return ctx_; }
+
+ private:
+  Options options_;
+  std::unique_ptr<synth::World> world_;
+  std::unique_ptr<net::SocialWeb> web_;
+  std::unique_ptr<dfs::MiniDfs> dfs_;
+  std::unique_ptr<crawler::Crawler> crawler_;
+  std::shared_ptr<dataflow::ExecutionContext> ctx_;
+  bool collected_ = false;
+  std::unique_ptr<AnalysisInputs> cached_inputs_;
+};
+
+}  // namespace cfnet::core
+
+#endif  // CFNET_CORE_PLATFORM_H_

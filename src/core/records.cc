@@ -1,0 +1,65 @@
+#include "core/records.h"
+
+namespace cfnet::core {
+
+StartupRecord StartupRecord::FromJson(const json::Json& j) {
+  StartupRecord r;
+  r.id = static_cast<uint64_t>(j.Get("id").AsInt());
+  r.name = j.Get("name").AsString();
+  r.has_twitter_url = !j.Get("twitter_url").AsString().empty();
+  r.has_facebook_url = !j.Get("facebook_url").AsString().empty();
+  r.has_crunchbase_url = !j.Get("crunchbase_url").AsString().empty();
+  r.has_video = !j.Get("video_url").AsString().empty();
+  r.fundraising = j.Get("fundraising").AsBool();
+  r.follower_count = j.Get("follower_count").AsInt();
+  return r;
+}
+
+UserRecord UserRecord::FromJson(const json::Json& j) {
+  UserRecord r;
+  r.id = static_cast<uint64_t>(j.Get("id").AsInt());
+  for (const json::Json& role : j.Get("roles").array()) {
+    const std::string& s = role.AsString();
+    if (s == "investor") r.is_investor = true;
+    if (s == "founder") r.is_founder = true;
+    if (s == "employee") r.is_employee = true;
+  }
+  for (const json::Json& c : j.Get("investment_company_ids").array()) {
+    r.investment_company_ids.push_back(static_cast<uint64_t>(c.AsInt()));
+  }
+  r.following_startup_count = j.Get("following_startup_count").AsInt();
+  r.following_user_count = j.Get("following_user_count").AsInt();
+  return r;
+}
+
+CrunchBaseRecord CrunchBaseRecord::FromJson(const json::Json& j) {
+  CrunchBaseRecord r;
+  r.angellist_id = static_cast<uint64_t>(j.Get("angellist_id").AsInt());
+  r.total_funding_usd = j.Get("total_funding_usd").AsDouble();
+  const json::Json& rounds = j.Get("funding_rounds");
+  r.num_rounds = static_cast<int64_t>(rounds.size());
+  for (const json::Json& round : rounds.array()) {
+    for (const json::Json& inv : round.Get("investor_ids").array()) {
+      r.round_investor_ids.push_back(static_cast<uint64_t>(inv.AsInt()));
+    }
+  }
+  return r;
+}
+
+FacebookRecord FacebookRecord::FromJson(const json::Json& j) {
+  FacebookRecord r;
+  r.angellist_id = static_cast<uint64_t>(j.Get("angellist_id").AsInt());
+  r.fan_count = j.Get("fan_count").AsInt();
+  return r;
+}
+
+TwitterRecord TwitterRecord::FromJson(const json::Json& j) {
+  TwitterRecord r;
+  r.angellist_id = static_cast<uint64_t>(j.Get("angellist_id").AsInt());
+  r.statuses_count = j.Get("statuses_count").AsInt();
+  r.followers_count_null = j.Get("followers_count").is_null();
+  r.followers_count = j.Get("followers_count").AsInt();
+  return r;
+}
+
+}  // namespace cfnet::core

@@ -1,0 +1,70 @@
+#ifndef CFNET_CORE_RECORDS_H_
+#define CFNET_CORE_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace cfnet::core {
+
+/// Typed views of the crawler's JSON-lines snapshots. These are what the
+/// Spark-style analyses operate on after the cleaning/extraction stage.
+
+struct StartupRecord {
+  uint64_t id = 0;
+  std::string name;
+  bool has_twitter_url = false;
+  bool has_facebook_url = false;
+  bool has_crunchbase_url = false;
+  bool has_video = false;
+  bool fundraising = false;
+  int64_t follower_count = 0;
+
+  static StartupRecord FromJson(const json::Json& j);
+};
+
+struct UserRecord {
+  uint64_t id = 0;
+  bool is_investor = false;
+  bool is_founder = false;
+  bool is_employee = false;
+  std::vector<uint64_t> investment_company_ids;  // AngelList-visible
+  int64_t following_startup_count = 0;
+  int64_t following_user_count = 0;
+
+  static UserRecord FromJson(const json::Json& j);
+};
+
+struct CrunchBaseRecord {
+  uint64_t angellist_id = 0;
+  double total_funding_usd = 0;
+  int64_t num_rounds = 0;
+  /// Flattened (investor, this company) edges from all rounds.
+  std::vector<uint64_t> round_investor_ids;
+
+  bool funded() const { return total_funding_usd > 0 || num_rounds > 0; }
+
+  static CrunchBaseRecord FromJson(const json::Json& j);
+};
+
+struct FacebookRecord {
+  uint64_t angellist_id = 0;
+  int64_t fan_count = 0;  // likes
+
+  static FacebookRecord FromJson(const json::Json& j);
+};
+
+struct TwitterRecord {
+  uint64_t angellist_id = 0;
+  int64_t statuses_count = 0;
+  int64_t followers_count = 0;
+  bool followers_count_null = false;
+
+  static TwitterRecord FromJson(const json::Json& j);
+};
+
+}  // namespace cfnet::core
+
+#endif  // CFNET_CORE_RECORDS_H_

@@ -1,0 +1,429 @@
+#include "crawler/crawler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "dfs/jsonl.h"
+#include "net/urls.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace cfnet::crawler {
+
+/// Per-worker state: virtual clock, fetch counters, token rotation state and
+/// snapshot writers. Workers never share mutable state during a stage.
+class Crawler::Shard {
+ public:
+  Shard(int worker_id, dfs::MiniDfs* dfs, const CrawlConfig& config)
+      : worker_id_(worker_id), dfs_(dfs), config_(config) {}
+
+  int worker_id() const { return worker_id_; }
+  int64_t& clock() { return clock_micros_; }
+  FetchCounters& counters() { return counters_; }
+  TokenPool& twitter_tokens() { return twitter_tokens_; }
+  std::string& facebook_token() { return facebook_token_; }
+
+  void SetTwitterTokens(const std::vector<std::string>& tokens) {
+    twitter_tokens_ = TokenPool(tokens, static_cast<size_t>(worker_id_));
+  }
+
+  /// Appends a record to `<dir>part-<worker>.jsonl` (lazily opened).
+  Status Snapshot(const std::string& dir, const json::Json& record) {
+    if (!config_.store_snapshots) return Status::OK();
+    auto it = writers_.find(dir);
+    if (it == writers_.end()) {
+      auto writer = std::make_unique<dfs::JsonLinesWriter>(
+          dfs_, dir + "part-" + std::to_string(worker_id_) + ".jsonl");
+      it = writers_.emplace(dir, std::move(writer)).first;
+    }
+    return it->second->Write(record);
+  }
+
+  Status FlushSnapshots() {
+    for (auto& [dir, writer] : writers_) {
+      CFNET_RETURN_IF_ERROR(writer->Flush());
+    }
+    return Status::OK();
+  }
+
+  /// Per-stage discovery buffers (merged by the coordinator).
+  std::vector<uint64_t> found_companies;
+  std::vector<uint64_t> found_users;
+
+ private:
+  int worker_id_;
+  dfs::MiniDfs* dfs_;
+  const CrawlConfig& config_;
+  int64_t clock_micros_ = 0;
+  FetchCounters counters_;
+  TokenPool twitter_tokens_;
+  std::string facebook_token_;
+  std::unordered_map<std::string, std::unique_ptr<dfs::JsonLinesWriter>>
+      writers_;
+};
+
+Crawler::~Crawler() = default;
+
+Crawler::Crawler(net::SocialWeb* web, dfs::MiniDfs* dfs, CrawlConfig config)
+    : web_(web), dfs_(dfs), config_(config) {
+  config_.num_workers = std::max(1, config_.num_workers);
+  for (int w = 0; w < config_.num_workers; ++w) {
+    shards_.push_back(std::make_unique<Shard>(w, dfs_, config_));
+  }
+}
+
+void Crawler::RunStriped(size_t n,
+                         const std::function<void(size_t, Shard&)>& fn) {
+  if (n == 0) return;
+  const size_t num_workers = shards_.size();
+  ThreadPool pool(std::min(num_workers, n));
+  std::vector<std::future<void>> futures;
+  for (size_t w = 0; w < num_workers; ++w) {
+    futures.push_back(pool.Submit([this, w, n, num_workers, &fn]() {
+      Shard& shard = *shards_[w];
+      for (size_t i = w; i < n; i += num_workers) fn(i, shard);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+void Crawler::MergeCounters() {
+  FetchCounters total;
+  int64_t makespan = 0;
+  for (auto& shard : shards_) {
+    total.requests += shard->counters().requests;
+    total.retries += shard->counters().retries;
+    total.rate_limit_waits += shard->counters().rate_limit_waits;
+    total.token_rotations += shard->counters().token_rotations;
+    total.failures += shard->counters().failures;
+    makespan = std::max(makespan, shard->clock());
+  }
+  report_.fetch = total;
+  report_.makespan_micros = makespan;
+  web_->clock().AdvanceTo(makespan);
+}
+
+Status Crawler::SetUpTokens() {
+  // Twitter: register apps from several simulated machines. The per-owner
+  // cap (5) is enforced by the service; requesting one too many exercises
+  // the 403 path.
+  Shard& shard = *shards_[0];
+  for (int m = 0; m < config_.num_twitter_machines; ++m) {
+    std::string owner = "machine-" + std::to_string(m);
+    for (int a = 0; a < config_.twitter_apps_per_machine; ++a) {
+      net::ApiResponse resp = FetchWithRetry(
+          &web_->twitter(),
+          net::ApiRequest("apps.register", {{"owner", owner}}), nullptr,
+          config_.fetch, &shard.clock(), &shard.counters());
+      if (resp.status == 403) break;  // owner hit the app cap
+      if (!resp.ok()) {
+        return Status::Unavailable("twitter app registration failed: " +
+                                   resp.body.Get("error").AsString());
+      }
+      twitter_tokens_.push_back(resp.body.Get("access_token").AsString());
+    }
+  }
+  if (twitter_tokens_.empty()) {
+    return Status::FailedPrecondition("no twitter tokens registered");
+  }
+  report_.twitter_tokens = static_cast<int64_t>(twitter_tokens_.size());
+
+  // Facebook: short-lived login token, exchanged for a long-lived one.
+  net::ApiResponse short_tok = FetchWithRetry(
+      &web_->facebook(), net::ApiRequest("oauth.token", {{"user", "crawler"}}),
+      nullptr, config_.fetch, &shard.clock(), &shard.counters());
+  if (!short_tok.ok()) {
+    return Status::Unavailable("facebook oauth.token failed");
+  }
+  net::ApiResponse long_tok = FetchWithRetry(
+      &web_->facebook(),
+      net::ApiRequest("oauth.exchange",
+                      {{"token", short_tok.body.Get("access_token").AsString()}}),
+      nullptr, config_.fetch, &shard.clock(), &shard.counters());
+  if (!long_tok.ok()) {
+    return Status::Unavailable("facebook oauth.exchange failed");
+  }
+  facebook_token_ = long_tok.body.Get("access_token").AsString();
+
+  for (auto& s : shards_) {
+    s->SetTwitterTokens(twitter_tokens_);
+    s->facebook_token() = facebook_token_;
+  }
+  return Status::OK();
+}
+
+Status Crawler::Run() {
+  auto start = std::chrono::steady_clock::now();
+  CFNET_RETURN_IF_ERROR(SetUpTokens());
+  CFNET_RETURN_IF_ERROR(RunAngelListBfs());
+  CFNET_RETURN_IF_ERROR(RunCrunchBaseAugmentation());
+  CFNET_RETURN_IF_ERROR(RunFacebookCrawl());
+  CFNET_RETURN_IF_ERROR(RunTwitterCrawl());
+  for (auto& shard : shards_) {
+    CFNET_RETURN_IF_ERROR(shard->FlushSnapshots());
+  }
+  MergeCounters();
+  report_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return Status::OK();
+}
+
+Status Crawler::RunAngelListBfs() {
+  net::AngelListService* al = &web_->angellist();
+
+  // Seed: every page of the "currently raising" listing.
+  std::vector<uint64_t> company_frontier;
+  {
+    Shard& shard = *shards_[0];
+    net::ApiResponse resp = FetchAllPages(
+        al,
+        [](int64_t page) {
+          return net::ApiRequest("startups.raising",
+                                 {{"page", std::to_string(page)}});
+        },
+        nullptr, config_.fetch, &shard.clock(), &shard.counters(),
+        [&](const json::Json& body) {
+          for (const json::Json& s : body.Get("startups").array()) {
+            uint64_t id = static_cast<uint64_t>(s.Get("id").AsInt());
+            if (seen_companies_.insert(id).second) {
+              company_frontier.push_back(id);
+            }
+          }
+        });
+    if (!resp.ok()) {
+      return Status::Unavailable("raising listing failed: " +
+                                 resp.body.Get("error").AsString());
+    }
+  }
+
+  std::vector<uint64_t> user_frontier;
+  std::mutex companies_mu;
+
+  int round = 0;
+  while (!company_frontier.empty() || !user_frontier.empty()) {
+    if (config_.max_bfs_rounds > 0 && round >= config_.max_bfs_rounds) break;
+    ++round;
+
+    // --- Stage A: fetch company profiles + their followers. -------------
+    RunStriped(company_frontier.size(), [&](size_t i, Shard& shard) {
+      uint64_t cid = company_frontier[i];
+      net::ApiResponse profile = FetchWithRetry(
+          al,
+          net::ApiRequest("startups.get", {{"id", std::to_string(cid)}}),
+          nullptr, config_.fetch, &shard.clock(), &shard.counters());
+      if (!profile.ok()) return;  // counted via counters.failures on 503s
+
+      CrawledCompany cc;
+      cc.id = cid;
+      cc.name = profile.body.Get("name").AsString();
+      cc.twitter_url = profile.body.Get("twitter_url").AsString();
+      cc.facebook_url = profile.body.Get("facebook_url").AsString();
+      cc.crunchbase_url = profile.body.Get("crunchbase_url").AsString();
+      {
+        std::lock_guard<std::mutex> lock(companies_mu);
+        companies_.push_back(std::move(cc));
+      }
+      shard.Snapshot(StartupSnapshotDir(), profile.body).ok();
+
+      FetchAllPages(
+          al,
+          [cid](int64_t page) {
+            return net::ApiRequest("startups.followers",
+                                   {{"id", std::to_string(cid)},
+                                    {"page", std::to_string(page)}});
+          },
+          nullptr, config_.fetch, &shard.clock(), &shard.counters(),
+          [&](const json::Json& body) {
+            for (const json::Json& f : body.Get("follower_ids").array()) {
+              shard.found_users.push_back(static_cast<uint64_t>(f.AsInt()));
+            }
+          });
+    });
+
+    // --- Stage B: fetch user profiles + everything they follow. ----------
+    RunStriped(user_frontier.size(), [&](size_t i, Shard& shard) {
+      uint64_t uid = user_frontier[i];
+      net::ApiResponse profile = FetchWithRetry(
+          al, net::ApiRequest("users.get", {{"id", std::to_string(uid)}}),
+          nullptr, config_.fetch, &shard.clock(), &shard.counters());
+      if (!profile.ok()) return;
+
+      int64_t following_startups = 0;
+      int64_t following_users = 0;
+      FetchAllPages(
+          al,
+          [uid](int64_t page) {
+            return net::ApiRequest("users.following.startups",
+                                   {{"id", std::to_string(uid)},
+                                    {"page", std::to_string(page)}});
+          },
+          nullptr, config_.fetch, &shard.clock(), &shard.counters(),
+          [&](const json::Json& body) {
+            following_startups = body.Get("total").AsInt();
+            for (const json::Json& s : body.Get("startup_ids").array()) {
+              shard.found_companies.push_back(static_cast<uint64_t>(s.AsInt()));
+            }
+          });
+      FetchAllPages(
+          al,
+          [uid](int64_t page) {
+            return net::ApiRequest("users.following.users",
+                                   {{"id", std::to_string(uid)},
+                                    {"page", std::to_string(page)}});
+          },
+          nullptr, config_.fetch, &shard.clock(), &shard.counters(),
+          [&](const json::Json& body) {
+            following_users = body.Get("total").AsInt();
+            for (const json::Json& u : body.Get("user_ids").array()) {
+              shard.found_users.push_back(static_cast<uint64_t>(u.AsInt()));
+            }
+          });
+
+      json::Json record = profile.body;
+      record.Set("following_startup_count", following_startups);
+      record.Set("following_user_count", following_users);
+      shard.Snapshot(UserSnapshotDir(), record).ok();
+    });
+
+    // --- Merge discoveries into the next frontiers. ----------------------
+    company_frontier.clear();
+    user_frontier.clear();
+    for (auto& shard : shards_) {
+      for (uint64_t cid : shard->found_companies) {
+        if (seen_companies_.insert(cid).second) company_frontier.push_back(cid);
+      }
+      for (uint64_t uid : shard->found_users) {
+        if (seen_users_.insert(uid).second) user_frontier.push_back(uid);
+      }
+      shard->found_companies.clear();
+      shard->found_users.clear();
+    }
+    // Deterministic processing order regardless of worker interleaving.
+    std::sort(company_frontier.begin(), company_frontier.end());
+    std::sort(user_frontier.begin(), user_frontier.end());
+  }
+
+  report_.bfs_rounds = round;
+  report_.companies_crawled = static_cast<int64_t>(companies_.size());
+  report_.users_crawled = static_cast<int64_t>(seen_users_.size());
+  // Stable order for the augmentation phases.
+  std::sort(companies_.begin(), companies_.end(),
+            [](const CrawledCompany& a, const CrawledCompany& b) {
+              return a.id < b.id;
+            });
+  return Status::OK();
+}
+
+Status Crawler::RunCrunchBaseAugmentation() {
+  net::CrunchBaseService* cb = &web_->crunchbase();
+  std::atomic<int64_t> by_url{0};
+  std::atomic<int64_t> by_search{0};
+  std::atomic<int64_t> ambiguous{0};
+  std::atomic<int64_t> backlink_mismatch{0};
+  std::atomic<int64_t> misses{0};
+  std::atomic<int64_t> found{0};
+
+  RunStriped(companies_.size(), [&](size_t i, Shard& shard) {
+    const CrawledCompany& cc = companies_[i];
+    std::string permalink;
+    bool via_url = false;
+    if (!cc.crunchbase_url.empty()) {
+      permalink = std::string(LastUrlSegment(cc.crunchbase_url));
+      via_url = true;
+    } else {
+      // Name search; only a unique hit may be associated (§3).
+      net::ApiResponse search = FetchWithRetry(
+          cb, net::ApiRequest("organizations.search", {{"name", cc.name}}),
+          nullptr, config_.fetch, &shard.clock(), &shard.counters());
+      if (!search.ok()) return;
+      const auto& results = search.body.Get("results").array();
+      if (results.empty()) {
+        misses.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (results.size() > 1) {
+        ambiguous.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      permalink = results[0].Get("permalink").AsString();
+    }
+    net::ApiResponse org = FetchWithRetry(
+        cb, net::ApiRequest("organizations.get", {{"permalink", permalink}}),
+        nullptr, config_.fetch, &shard.clock(), &shard.counters());
+    if (org.status == 404) {
+      misses.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!org.ok()) return;
+    // CrunchBase links back to AngelList for every dual-listed company
+    // (§2); a name-search hit whose backlink points at a different startup
+    // is a false match (shared names) and must be dropped.
+    const std::string& backlink = org.body.Get("angellist_url").AsString();
+    if (!backlink.empty() &&
+        backlink != net::AngelListCompanyUrl(cc.id)) {
+      backlink_mismatch.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    (via_url ? by_url : by_search).fetch_add(1, std::memory_order_relaxed);
+    found.fetch_add(1, std::memory_order_relaxed);
+    json::Json record = org.body;
+    record.Set("angellist_id", static_cast<int64_t>(cc.id));
+    shard.Snapshot(CrunchBaseSnapshotDir(), record).ok();
+  });
+
+  report_.crunchbase_profiles = found.load();
+  report_.crunchbase_matched_by_url = by_url.load();
+  report_.crunchbase_matched_by_search = by_search.load();
+  report_.crunchbase_ambiguous_skipped = ambiguous.load();
+  report_.crunchbase_backlink_mismatches = backlink_mismatch.load();
+  report_.crunchbase_misses = misses.load();
+  return Status::OK();
+}
+
+Status Crawler::RunFacebookCrawl() {
+  net::FacebookService* fb = &web_->facebook();
+  std::atomic<int64_t> found{0};
+  RunStriped(companies_.size(), [&](size_t i, Shard& shard) {
+    const CrawledCompany& cc = companies_[i];
+    if (cc.facebook_url.empty()) return;
+    std::string page_id(LastUrlSegment(cc.facebook_url));
+    net::ApiRequest req("page.get", {{"page_id", page_id}});
+    req.access_token = shard.facebook_token();
+    net::ApiResponse resp = FetchWithRetry(fb, std::move(req), nullptr,
+                                           config_.fetch, &shard.clock(),
+                                           &shard.counters());
+    if (!resp.ok()) return;
+    found.fetch_add(1, std::memory_order_relaxed);
+    json::Json record = resp.body;
+    record.Set("angellist_id", static_cast<int64_t>(cc.id));
+    shard.Snapshot(FacebookSnapshotDir(), record).ok();
+  });
+  report_.facebook_profiles = found.load();
+  return Status::OK();
+}
+
+Status Crawler::RunTwitterCrawl() {
+  net::TwitterService* tw = &web_->twitter();
+  std::atomic<int64_t> found{0};
+  RunStriped(companies_.size(), [&](size_t i, Shard& shard) {
+    const CrawledCompany& cc = companies_[i];
+    if (cc.twitter_url.empty()) return;
+    std::string screen_name(LastUrlSegment(cc.twitter_url));
+    net::ApiResponse resp = FetchWithRetry(
+        tw, net::ApiRequest("users.show", {{"screen_name", screen_name}}),
+        &shard.twitter_tokens(), config_.fetch, &shard.clock(),
+        &shard.counters());
+    if (!resp.ok()) return;
+    found.fetch_add(1, std::memory_order_relaxed);
+    json::Json record = resp.body;
+    record.Set("angellist_id", static_cast<int64_t>(cc.id));
+    shard.Snapshot(TwitterSnapshotDir(), record).ok();
+  });
+  report_.twitter_profiles = found.load();
+  return Status::OK();
+}
+
+}  // namespace cfnet::crawler

@@ -1,0 +1,141 @@
+#ifndef CFNET_CRAWLER_CRAWLER_H_
+#define CFNET_CRAWLER_CRAWLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "crawler/fetch.h"
+#include "dfs/dfs.h"
+#include "net/social_web.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cfnet::crawler {
+
+/// Crawl pipeline configuration.
+struct CrawlConfig {
+  /// Parallel crawler workers (each carries its own virtual clock).
+  int num_workers = 8;
+  /// Simulated machines for the Twitter crawl; each registers up to
+  /// `twitter_apps_per_machine` apps (Twitter caps apps per user at 5), and
+  /// the resulting token pool is shared round-robin by the workers.
+  int num_twitter_machines = 2;
+  int twitter_apps_per_machine = 5;
+  FetchPolicy fetch;
+  /// DFS directory snapshots are written under.
+  std::string snapshot_dir = "/crawl";
+  bool store_snapshots = true;
+  /// Safety valve for tests: stop the BFS after this many rounds (0 = run
+  /// until the frontier is exhausted, as the paper does).
+  int max_bfs_rounds = 0;
+};
+
+/// Aggregated crawl outcome.
+struct CrawlReport {
+  int64_t companies_crawled = 0;
+  int64_t users_crawled = 0;
+  int64_t bfs_rounds = 0;
+
+  int64_t crunchbase_profiles = 0;
+  int64_t crunchbase_matched_by_url = 0;
+  int64_t crunchbase_matched_by_search = 0;
+  int64_t crunchbase_ambiguous_skipped = 0;
+  int64_t crunchbase_backlink_mismatches = 0;
+  int64_t crunchbase_misses = 0;
+
+  int64_t facebook_profiles = 0;
+  int64_t twitter_profiles = 0;
+  int64_t twitter_tokens = 0;
+
+  FetchCounters fetch;           // summed over workers
+  int64_t makespan_micros = 0;   // simulated (max worker clock)
+  double wall_seconds = 0;       // real time spent crawling
+};
+
+/// Minimal in-memory record kept per crawled company, feeding the
+/// augmentation phases (everything else lives in the DFS snapshots).
+struct CrawledCompany {
+  uint64_t id = 0;
+  std::string name;
+  std::string twitter_url;
+  std::string facebook_url;
+  std::string crunchbase_url;
+};
+
+/// High-throughput parallel crawler over the simulated web, reproducing the
+/// paper's collection pipeline (§3):
+///
+///  1. AngelList frontier BFS seeded by the "currently raising" listing:
+///     startups -> their followers -> everything those users follow -> ...
+///  2. One-time CrunchBase augmentation per discovered startup (URL join
+///     when AngelList lists it, unique-name search otherwise).
+///  3. Facebook Graph crawl of startups with Facebook links (long-lived
+///     token obtained via the OAuth exchange).
+///  4. Twitter crawl of startups with Twitter links (token pool sharded
+///     across simulated machines to beat the 180-calls/15-min limit).
+///
+/// Snapshots are written to MiniDFS as JSON-lines, one directory per
+/// source, sharded per worker.
+class Crawler {
+ public:
+  Crawler(net::SocialWeb* web, dfs::MiniDfs* dfs, CrawlConfig config);
+  ~Crawler();  // out of line: Shard is incomplete here
+
+  Crawler(const Crawler&) = delete;
+  Crawler& operator=(const Crawler&) = delete;
+
+  /// Runs all four phases.
+  Status Run();
+
+  /// Individual phases (Run calls these in order; exposed for tests and
+  /// partial pipelines). RunAngelListBfs must come first.
+  Status RunAngelListBfs();
+  Status RunCrunchBaseAugmentation();
+  Status RunFacebookCrawl();
+  Status RunTwitterCrawl();
+
+  const CrawlReport& report() const { return report_; }
+  const std::vector<CrawledCompany>& crawled_companies() const {
+    return companies_;
+  }
+
+  /// Snapshot locations (JSON-lines file sets under snapshot_dir).
+  std::string StartupSnapshotDir() const { return config_.snapshot_dir + "/angellist/startups/"; }
+  std::string UserSnapshotDir() const { return config_.snapshot_dir + "/angellist/users/"; }
+  std::string CrunchBaseSnapshotDir() const { return config_.snapshot_dir + "/crunchbase/"; }
+  std::string FacebookSnapshotDir() const { return config_.snapshot_dir + "/facebook/"; }
+  std::string TwitterSnapshotDir() const { return config_.snapshot_dir + "/twitter/"; }
+
+ private:
+  class Shard;  // per-worker state (clock, counters, snapshot writers)
+
+  /// Runs `fn(item_index, shard)` for every index in [0, n) striped across
+  /// workers; merges shard counters afterwards.
+  void RunStriped(size_t n, const std::function<void(size_t, Shard&)>& fn);
+
+  Status SetUpTokens();
+  void MergeCounters();
+
+  net::SocialWeb* web_;
+  dfs::MiniDfs* dfs_;
+  CrawlConfig config_;
+  CrawlReport report_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Discovered-entity state (BFS bookkeeping).
+  std::unordered_set<uint64_t> seen_companies_;
+  std::unordered_set<uint64_t> seen_users_;
+  std::vector<CrawledCompany> companies_;
+
+  // Tokens.
+  std::vector<std::string> twitter_tokens_;
+  std::string facebook_token_;
+};
+
+}  // namespace cfnet::crawler
+
+#endif  // CFNET_CRAWLER_CRAWLER_H_

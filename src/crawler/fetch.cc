@@ -1,0 +1,69 @@
+#include "crawler/fetch.h"
+
+#include <algorithm>
+
+namespace cfnet::crawler {
+
+net::ApiResponse FetchWithRetry(net::ApiService* service,
+                                net::ApiRequest request, TokenPool* tokens,
+                                const FetchPolicy& policy,
+                                int64_t* worker_time, FetchCounters* counters) {
+  if (tokens != nullptr && !tokens->empty()) {
+    request.access_token = tokens->current();
+  }
+  int attempt = 0;
+  size_t rotations_this_window = 0;
+  for (;;) {
+    ++counters->requests;
+    net::ApiResponse resp = service->Handle(request, worker_time);
+    if (resp.status == 503) {
+      if (attempt >= policy.max_retries) {
+        ++counters->failures;
+        return resp;
+      }
+      // Exponential backoff in virtual time.
+      *worker_time += policy.backoff_base_micros << attempt;
+      ++attempt;
+      ++counters->retries;
+      continue;
+    }
+    if (resp.status == 429) {
+      int64_t retry_at = resp.body.Get("retry_at_micros").AsInt();
+      if (tokens != nullptr && tokens->size() > 1 &&
+          policy.rotate_tokens_on_rate_limit &&
+          rotations_this_window + 1 < tokens->size()) {
+        tokens->Rotate();
+        request.access_token = tokens->current();
+        ++rotations_this_window;
+        ++counters->token_rotations;
+        continue;
+      }
+      // All tokens exhausted (or rotation disabled): wait out the window.
+      *worker_time = std::max(*worker_time + 1000, retry_at);
+      rotations_this_window = 0;
+      ++counters->rate_limit_waits;
+      continue;
+    }
+    return resp;
+  }
+}
+
+net::ApiResponse FetchAllPages(
+    net::ApiService* service,
+    const std::function<net::ApiRequest(int64_t page)>& make_request,
+    TokenPool* tokens, const FetchPolicy& policy, int64_t* worker_time,
+    FetchCounters* counters,
+    const std::function<void(const json::Json& body)>& on_page) {
+  int64_t page = 1;
+  for (;;) {
+    net::ApiResponse resp = FetchWithRetry(service, make_request(page), tokens,
+                                           policy, worker_time, counters);
+    if (!resp.ok()) return resp;
+    on_page(resp.body);
+    int64_t last_page = resp.body.Get("last_page").AsInt(1);
+    if (page >= last_page) return resp;
+    ++page;
+  }
+}
+
+}  // namespace cfnet::crawler

@@ -1,0 +1,76 @@
+#ifndef CFNET_CRAWLER_FETCH_H_
+#define CFNET_CRAWLER_FETCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/service.h"
+#include "util/result.h"
+
+namespace cfnet::crawler {
+
+/// Retry/backoff and rate-limit-handling policy for one crawler worker.
+struct FetchPolicy {
+  int max_retries = 4;
+  int64_t backoff_base_micros = 500000;  // 0.5 s, doubled per attempt
+  /// When rate limited: rotate through the token pool before waiting; if
+  /// every token is exhausted, advance the worker clock to the earliest
+  /// retry time (waiting out the window).
+  bool rotate_tokens_on_rate_limit = true;
+};
+
+/// A worker's set of access tokens for one service, with rotation state —
+/// the paper's "distribute the crawling job to several machines, using
+/// different access tokens".
+class TokenPool {
+ public:
+  TokenPool() = default;
+  explicit TokenPool(std::vector<std::string> tokens, size_t start = 0)
+      : tokens_(std::move(tokens)), current_(start % std::max<size_t>(1, tokens_.size())) {}
+
+  bool empty() const { return tokens_.empty(); }
+  size_t size() const { return tokens_.size(); }
+  const std::string& current() const { return tokens_[current_]; }
+  void Rotate() { current_ = (current_ + 1) % tokens_.size(); }
+
+ private:
+  std::vector<std::string> tokens_;
+  size_t current_ = 0;
+};
+
+/// Per-worker fetch counters.
+struct FetchCounters {
+  int64_t requests = 0;
+  int64_t retries = 0;
+  int64_t rate_limit_waits = 0;
+  int64_t token_rotations = 0;
+  int64_t failures = 0;
+};
+
+/// Issues `request` against `service`, handling transient 503s (retry with
+/// exponential backoff in virtual time) and 429s (token rotation and/or
+/// waiting). Advances `*worker_time` accordingly. Non-retryable statuses
+/// (404, 401, 400) are returned to the caller as-is.
+net::ApiResponse FetchWithRetry(net::ApiService* service,
+                                net::ApiRequest request, TokenPool* tokens,
+                                const FetchPolicy& policy,
+                                int64_t* worker_time, FetchCounters* counters);
+
+/// Fetches every page of a paginated endpoint (pages are 1-based; the
+/// response carries "last_page") and invokes `on_page` for each 200 body.
+/// Stops and returns the first non-retryable error.
+///
+/// `make_request` receives the page number and returns the request.
+net::ApiResponse FetchAllPages(
+    net::ApiService* service,
+    const std::function<net::ApiRequest(int64_t page)>& make_request,
+    TokenPool* tokens, const FetchPolicy& policy, int64_t* worker_time,
+    FetchCounters* counters,
+    const std::function<void(const json::Json& body)>& on_page);
+
+}  // namespace cfnet::crawler
+
+#endif  // CFNET_CRAWLER_FETCH_H_

@@ -1,0 +1,71 @@
+#ifndef CFNET_DATAFLOW_CONTEXT_H_
+#define CFNET_DATAFLOW_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace cfnet::dataflow {
+
+/// Counters the engine exposes for benchmarking (tasks launched, records
+/// moved through shuffles).
+struct EngineMetrics {
+  std::atomic<uint64_t> tasks_launched{0};
+  std::atomic<uint64_t> shuffle_records{0};
+  std::atomic<uint64_t> stages_run{0};
+};
+
+/// Execution context for the MiniSpark engine: owns the worker pool and
+/// default partitioning, and carries engine metrics. Datasets created from
+/// the same context share its pool.
+class ExecutionContext {
+ public:
+  /// `parallelism` worker threads; `default_partitions` defaults to the
+  /// same value when 0.
+  explicit ExecutionContext(size_t parallelism = ThreadPool::DefaultParallelism(),
+                            size_t default_partitions = 0)
+      : pool_(parallelism),
+        default_partitions_(default_partitions == 0 ? parallelism
+                                                    : default_partitions) {}
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  size_t parallelism() const { return pool_.num_threads(); }
+  size_t default_partitions() const { return default_partitions_; }
+  EngineMetrics& metrics() { return metrics_; }
+
+  /// Runs f(0..n-1) on the pool and blocks until all complete.
+  /// Must be called from outside pool worker threads (the engine only
+  /// drives evaluation from the caller's thread, so this holds).
+  template <typename F>
+  void RunParallel(size_t n, F&& f) {
+    if (n == 0) return;
+    metrics_.stages_run.fetch_add(1, std::memory_order_relaxed);
+    if (n == 1) {
+      metrics_.tasks_launched.fetch_add(1, std::memory_order_relaxed);
+      f(size_t{0});
+      return;
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      metrics_.tasks_launched.fetch_add(1, std::memory_order_relaxed);
+      futures.push_back(pool_.Submit([&f, i]() { f(i); }));
+    }
+    for (auto& fut : futures) fut.get();
+  }
+
+ private:
+  ThreadPool pool_;
+  size_t default_partitions_;
+  EngineMetrics metrics_;
+};
+
+}  // namespace cfnet::dataflow
+
+#endif  // CFNET_DATAFLOW_CONTEXT_H_

@@ -1,0 +1,614 @@
+#ifndef CFNET_DATAFLOW_DATASET_H_
+#define CFNET_DATAFLOW_DATASET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "dataflow/context.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cfnet::dataflow {
+
+/// A dataset's physical layout: one vector per partition.
+template <typename T>
+using Partitions = std::vector<std::vector<T>>;
+
+namespace internal_dataset {
+
+/// Lazily-computed, memoized partitioned collection (the RDD analogue).
+/// `compute` runs at most once, on the first action; narrow transformations
+/// chain compute thunks, wide ones insert a hash shuffle.
+template <typename T>
+struct Impl {
+  std::shared_ptr<ExecutionContext> ctx;
+  size_t num_partitions = 1;
+  std::function<Partitions<T>()> compute;
+  std::once_flag once;
+  Partitions<T> data;
+
+  const Partitions<T>& Materialize() {
+    std::call_once(once, [this]() {
+      data = compute();
+      compute = nullptr;  // release captured parents
+    });
+    return data;
+  }
+};
+
+}  // namespace internal_dataset
+
+/// Lazy, partitioned, parallel collection — the MiniSpark analogue of an
+/// RDD/Dataset. All transformations are lazy and memoized: the pipeline
+/// executes once, on the first action (`Collect`, `Count`, ...), in parallel
+/// across partitions on the context's thread pool.
+///
+/// Copying a Dataset is cheap (shared immutable state). Element types must
+/// be copyable; key types used in wide operations additionally need
+/// std::hash and operator==.
+template <typename T>
+class Dataset {
+ public:
+  /// Internal: wraps an implementation node. Use `FromVector` or a
+  /// transformation to create datasets.
+  explicit Dataset(std::shared_ptr<internal_dataset::Impl<T>> impl)
+      : impl_(std::move(impl)) {}
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+
+  /// Creates a dataset by range-partitioning `data` into
+  /// `num_partitions` (0 = context default) chunks.
+  static Dataset FromVector(std::shared_ptr<ExecutionContext> ctx,
+                            std::vector<T> data, size_t num_partitions = 0) {
+    CFNET_CHECK(ctx != nullptr);
+    size_t np = num_partitions == 0 ? ctx->default_partitions() : num_partitions;
+    np = std::max<size_t>(1, np);
+    auto impl = std::make_shared<internal_dataset::Impl<T>>();
+    impl->ctx = ctx;
+    impl->num_partitions = np;
+    auto shared = std::make_shared<std::vector<T>>(std::move(data));
+    impl->compute = [shared, np]() {
+      Partitions<T> parts(np);
+      size_t n = shared->size();
+      size_t base = n / np;
+      size_t extra = n % np;
+      size_t offset = 0;
+      for (size_t p = 0; p < np; ++p) {
+        size_t len = base + (p < extra ? 1 : 0);
+        parts[p].assign(shared->begin() + offset, shared->begin() + offset + len);
+        offset += len;
+      }
+      return parts;
+    };
+    return Dataset(std::move(impl));
+  }
+
+  std::shared_ptr<ExecutionContext> context() const { return impl_->ctx; }
+  size_t num_partitions() const { return impl_->num_partitions; }
+
+  /// --- narrow transformations -------------------------------------------
+
+  /// Element-wise transform.
+  template <typename F>
+  auto Map(F f) const -> Dataset<std::decay_t<std::invoke_result_t<F, const T&>>> {
+    using U = std::decay_t<std::invoke_result_t<F, const T&>>;
+    auto parent = impl_;
+    auto out = std::make_shared<internal_dataset::Impl<U>>();
+    out->ctx = parent->ctx;
+    out->num_partitions = parent->num_partitions;
+    out->compute = [parent, f]() {
+      const auto& in = parent->Materialize();
+      Partitions<U> result(in.size());
+      parent->ctx->RunParallel(in.size(), [&](size_t i) {
+        result[i].reserve(in[i].size());
+        for (const T& x : in[i]) result[i].push_back(f(x));
+      });
+      return result;
+    };
+    return Dataset<U>(std::move(out));
+  }
+
+  /// Keeps elements satisfying `pred`.
+  template <typename F>
+  Dataset<T> Filter(F pred) const {
+    auto parent = impl_;
+    auto out = std::make_shared<internal_dataset::Impl<T>>();
+    out->ctx = parent->ctx;
+    out->num_partitions = parent->num_partitions;
+    out->compute = [parent, pred]() {
+      const auto& in = parent->Materialize();
+      Partitions<T> result(in.size());
+      parent->ctx->RunParallel(in.size(), [&](size_t i) {
+        for (const T& x : in[i]) {
+          if (pred(x)) result[i].push_back(x);
+        }
+      });
+      return result;
+    };
+    return Dataset<T>(std::move(out));
+  }
+
+  /// Expands each element into zero or more outputs; `f` returns any
+  /// iterable container of the output type.
+  template <typename F>
+  auto FlatMap(F f) const
+      -> Dataset<typename std::decay_t<std::invoke_result_t<F, const T&>>::value_type> {
+    using C = std::decay_t<std::invoke_result_t<F, const T&>>;
+    using U = typename C::value_type;
+    auto parent = impl_;
+    auto out = std::make_shared<internal_dataset::Impl<U>>();
+    out->ctx = parent->ctx;
+    out->num_partitions = parent->num_partitions;
+    out->compute = [parent, f]() {
+      const auto& in = parent->Materialize();
+      Partitions<U> result(in.size());
+      parent->ctx->RunParallel(in.size(), [&](size_t i) {
+        for (const T& x : in[i]) {
+          C items = f(x);
+          for (auto& item : items) result[i].push_back(std::move(item));
+        }
+      });
+      return result;
+    };
+    return Dataset<U>(std::move(out));
+  }
+
+  /// Concatenation (partitions of both inputs are preserved).
+  Dataset<T> Union(const Dataset<T>& other) const {
+    auto a = impl_;
+    auto b = other.impl_;
+    auto out = std::make_shared<internal_dataset::Impl<T>>();
+    out->ctx = a->ctx;
+    out->num_partitions = a->num_partitions + b->num_partitions;
+    out->compute = [a, b]() {
+      const auto& pa = a->Materialize();
+      const auto& pb = b->Materialize();
+      Partitions<T> result;
+      result.reserve(pa.size() + pb.size());
+      for (const auto& p : pa) result.push_back(p);
+      for (const auto& p : pb) result.push_back(p);
+      return result;
+    };
+    return Dataset<T>(std::move(out));
+  }
+
+  /// Bernoulli sample of roughly `fraction` of the elements, deterministic
+  /// for a given seed.
+  Dataset<T> Sample(double fraction, uint64_t seed) const {
+    auto parent = impl_;
+    auto out = std::make_shared<internal_dataset::Impl<T>>();
+    out->ctx = parent->ctx;
+    out->num_partitions = parent->num_partitions;
+    out->compute = [parent, fraction, seed]() {
+      const auto& in = parent->Materialize();
+      Partitions<T> result(in.size());
+      parent->ctx->RunParallel(in.size(), [&](size_t i) {
+        Rng rng(seed * 0x9e3779b1u + i);
+        for (const T& x : in[i]) {
+          if (rng.Bernoulli(fraction)) result[i].push_back(x);
+        }
+      });
+      return result;
+    };
+    return Dataset<T>(std::move(out));
+  }
+
+  /// --- wide transformations (shuffle) -------------------------------------
+
+  /// Deduplicates (hash shuffle so equal elements meet in one partition).
+  /// First occurrence order within a partition is retained.
+  Dataset<T> Distinct(size_t num_partitions = 0) const {
+    auto parent = impl_;
+    size_t np = num_partitions == 0 ? parent->num_partitions : num_partitions;
+    auto out = std::make_shared<internal_dataset::Impl<T>>();
+    out->ctx = parent->ctx;
+    out->num_partitions = np;
+    out->compute = [parent, np]() {
+      Partitions<T> shuffled = ShuffleBy(
+          parent->ctx.get(), parent->Materialize(), np,
+          [](const T& x) { return std::hash<T>{}(x); });
+      Partitions<T> result(np);
+      parent->ctx->RunParallel(np, [&](size_t p) {
+        std::unordered_set<T> seen;
+        seen.reserve(shuffled[p].size());
+        for (T& x : shuffled[p]) {
+          if (seen.insert(x).second) result[p].push_back(std::move(x));
+        }
+      });
+      return result;
+    };
+    return Dataset<T>(std::move(out));
+  }
+
+  /// Rebalances into `n` partitions (round-robin).
+  Dataset<T> Repartition(size_t n) const {
+    CFNET_CHECK(n > 0);
+    auto parent = impl_;
+    auto out = std::make_shared<internal_dataset::Impl<T>>();
+    out->ctx = parent->ctx;
+    out->num_partitions = n;
+    out->compute = [parent, n]() {
+      const auto& in = parent->Materialize();
+      Partitions<T> result(n);
+      size_t idx = 0;
+      for (const auto& part : in) {
+        for (const T& x : part) {
+          result[idx % n].push_back(x);
+          ++idx;
+        }
+      }
+      return result;
+    };
+    return Dataset<T>(std::move(out));
+  }
+
+  /// --- actions -------------------------------------------------------------
+
+  /// Materializes and flattens to a single vector (partition order).
+  std::vector<T> Collect() const {
+    const auto& parts = impl_->Materialize();
+    size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    std::vector<T> out;
+    out.reserve(total);
+    for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
+  /// Number of elements.
+  size_t Count() const {
+    const auto& parts = impl_->Materialize();
+    size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    return total;
+  }
+
+  /// Parallel fold with an associative, commutative `f` and identity.
+  template <typename F>
+  T Reduce(F f, T identity) const {
+    const auto& parts = impl_->Materialize();
+    std::vector<T> partials(parts.size(), identity);
+    impl_->ctx->RunParallel(parts.size(), [&](size_t i) {
+      T acc = identity;
+      for (const T& x : parts[i]) acc = f(acc, x);
+      partials[i] = acc;
+    });
+    T acc = identity;
+    for (const T& p : partials) acc = f(acc, p);
+    return acc;
+  }
+
+  /// Applies `f` to every element, in parallel across partitions.
+  template <typename F>
+  void ForEach(F f) const {
+    const auto& parts = impl_->Materialize();
+    impl_->ctx->RunParallel(parts.size(), [&](size_t i) {
+      for (const T& x : parts[i]) f(x);
+    });
+  }
+
+  /// Collects and sorts ascending by `key_fn(x)`.
+  template <typename F>
+  std::vector<T> SortBy(F key_fn) const {
+    std::vector<T> all = Collect();
+    std::sort(all.begin(), all.end(), [&](const T& a, const T& b) {
+      return key_fn(a) < key_fn(b);
+    });
+    return all;
+  }
+
+  /// Top-k elements by `key_fn`, descending.
+  template <typename F>
+  std::vector<T> TopBy(size_t k, F key_fn) const {
+    std::vector<T> all = Collect();
+    k = std::min(k, all.size());
+    std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(),
+                      [&](const T& a, const T& b) { return key_fn(a) > key_fn(b); });
+    all.resize(k);
+    return all;
+  }
+
+  /// Internal access for the key-value free functions below.
+  const std::shared_ptr<internal_dataset::Impl<T>>& impl() const { return impl_; }
+
+  /// Hash-partitions `in` into `np` buckets by `key_of(x)` (already-hashed
+  /// values). Used by every wide operation; exposed for reuse by GroupByKey
+  /// et al.
+  template <typename KeyHashFn>
+  static Partitions<T> ShuffleBy(ExecutionContext* ctx, const Partitions<T>& in,
+                                 size_t np, KeyHashFn key_of) {
+    // Phase 1: per input partition, bucket locally (parallel, no contention).
+    std::vector<Partitions<T>> local(in.size());
+    ctx->RunParallel(in.size(), [&](size_t i) {
+      local[i].assign(np, {});
+      for (const T& x : in[i]) {
+        size_t h = key_of(x);
+        // Mix so that sequential keys spread (std::hash<int> is identity).
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 33;
+        local[i][h % np].push_back(x);
+      }
+    });
+    // Phase 2: concatenate bucket b from every input partition (parallel).
+    Partitions<T> out(np);
+    ctx->RunParallel(np, [&](size_t b) {
+      size_t total = 0;
+      for (size_t i = 0; i < local.size(); ++i) total += local[i][b].size();
+      out[b].reserve(total);
+      for (size_t i = 0; i < local.size(); ++i) {
+        auto& src = local[i][b];
+        out[b].insert(out[b].end(), std::make_move_iterator(src.begin()),
+                      std::make_move_iterator(src.end()));
+      }
+      ctx->metrics().shuffle_records.fetch_add(total, std::memory_order_relaxed);
+    });
+    return out;
+  }
+
+ private:
+  std::shared_ptr<internal_dataset::Impl<T>> impl_;
+};
+
+/// --- key-value operations ----------------------------------------------
+/// These operate on Dataset<std::pair<K, V>>. K requires std::hash and ==.
+
+/// Merges values per key with an associative `reduce_fn(V, V) -> V`.
+template <typename K, typename V, typename F>
+Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
+                                     F reduce_fn, size_t num_partitions = 0) {
+  using KV = std::pair<K, V>;
+  auto parent = ds.impl();
+  size_t np = num_partitions == 0 ? parent->num_partitions : num_partitions;
+  auto out = std::make_shared<internal_dataset::Impl<KV>>();
+  out->ctx = parent->ctx;
+  out->num_partitions = np;
+  out->compute = [parent, reduce_fn, np]() {
+    Partitions<KV> shuffled = Dataset<KV>::ShuffleBy(
+        parent->ctx.get(), parent->Materialize(), np,
+        [](const KV& kv) { return std::hash<K>{}(kv.first); });
+    Partitions<KV> result(np);
+    parent->ctx->RunParallel(np, [&](size_t p) {
+      std::unordered_map<K, V> agg;
+      agg.reserve(shuffled[p].size());
+      for (KV& kv : shuffled[p]) {
+        auto [it, inserted] = agg.try_emplace(kv.first, kv.second);
+        if (!inserted) it->second = reduce_fn(it->second, kv.second);
+      }
+      result[p].reserve(agg.size());
+      for (auto& [k, v] : agg) result[p].emplace_back(k, std::move(v));
+    });
+    return result;
+  };
+  return Dataset<KV>(std::move(out));
+}
+
+/// Groups values per key.
+template <typename K, typename V>
+Dataset<std::pair<K, std::vector<V>>> GroupByKey(
+    const Dataset<std::pair<K, V>>& ds, size_t num_partitions = 0) {
+  using KV = std::pair<K, V>;
+  using KG = std::pair<K, std::vector<V>>;
+  auto parent = ds.impl();
+  size_t np = num_partitions == 0 ? parent->num_partitions : num_partitions;
+  auto out = std::make_shared<internal_dataset::Impl<KG>>();
+  out->ctx = parent->ctx;
+  out->num_partitions = np;
+  out->compute = [parent, np]() {
+    Partitions<KV> shuffled = Dataset<KV>::ShuffleBy(
+        parent->ctx.get(), parent->Materialize(), np,
+        [](const KV& kv) { return std::hash<K>{}(kv.first); });
+    Partitions<KG> result(np);
+    parent->ctx->RunParallel(np, [&](size_t p) {
+      std::unordered_map<K, std::vector<V>> groups;
+      for (KV& kv : shuffled[p]) {
+        groups[kv.first].push_back(std::move(kv.second));
+      }
+      result[p].reserve(groups.size());
+      for (auto& [k, vs] : groups) result[p].emplace_back(k, std::move(vs));
+    });
+    return result;
+  };
+  return Dataset<KG>(std::move(out));
+}
+
+/// Inner hash join: emits (k, (v1, v2)) for every matching pair.
+template <typename K, typename V1, typename V2>
+Dataset<std::pair<K, std::pair<V1, V2>>> Join(
+    const Dataset<std::pair<K, V1>>& left,
+    const Dataset<std::pair<K, V2>>& right, size_t num_partitions = 0) {
+  using L = std::pair<K, V1>;
+  using R = std::pair<K, V2>;
+  using O = std::pair<K, std::pair<V1, V2>>;
+  auto lp = left.impl();
+  auto rp = right.impl();
+  size_t np = num_partitions == 0 ? lp->num_partitions : num_partitions;
+  auto out = std::make_shared<internal_dataset::Impl<O>>();
+  out->ctx = lp->ctx;
+  out->num_partitions = np;
+  out->compute = [lp, rp, np]() {
+    Partitions<L> ls = Dataset<L>::ShuffleBy(
+        lp->ctx.get(), lp->Materialize(), np,
+        [](const L& kv) { return std::hash<K>{}(kv.first); });
+    Partitions<R> rs = Dataset<R>::ShuffleBy(
+        lp->ctx.get(), rp->Materialize(), np,
+        [](const R& kv) { return std::hash<K>{}(kv.first); });
+    Partitions<O> result(np);
+    lp->ctx->RunParallel(np, [&](size_t p) {
+      std::unordered_multimap<K, V1> table;
+      table.reserve(ls[p].size());
+      for (L& kv : ls[p]) table.emplace(kv.first, std::move(kv.second));
+      for (const R& kv : rs[p]) {
+        auto range = table.equal_range(kv.first);
+        for (auto it = range.first; it != range.second; ++it) {
+          result[p].emplace_back(kv.first,
+                                 std::make_pair(it->second, kv.second));
+        }
+      }
+    });
+    return result;
+  };
+  return Dataset<O>(std::move(out));
+}
+
+/// Left outer hash join: right side is optional (missing -> default V2 and
+/// matched=false flag).
+template <typename K, typename V1, typename V2>
+Dataset<std::pair<K, std::pair<V1, std::pair<V2, bool>>>> LeftOuterJoin(
+    const Dataset<std::pair<K, V1>>& left,
+    const Dataset<std::pair<K, V2>>& right, size_t num_partitions = 0) {
+  using L = std::pair<K, V1>;
+  using R = std::pair<K, V2>;
+  using O = std::pair<K, std::pair<V1, std::pair<V2, bool>>>;
+  auto lp = left.impl();
+  auto rp = right.impl();
+  size_t np = num_partitions == 0 ? lp->num_partitions : num_partitions;
+  auto out = std::make_shared<internal_dataset::Impl<O>>();
+  out->ctx = lp->ctx;
+  out->num_partitions = np;
+  out->compute = [lp, rp, np]() {
+    Partitions<L> ls = Dataset<L>::ShuffleBy(
+        lp->ctx.get(), lp->Materialize(), np,
+        [](const L& kv) { return std::hash<K>{}(kv.first); });
+    Partitions<R> rs = Dataset<R>::ShuffleBy(
+        lp->ctx.get(), rp->Materialize(), np,
+        [](const R& kv) { return std::hash<K>{}(kv.first); });
+    Partitions<O> result(np);
+    lp->ctx->RunParallel(np, [&](size_t p) {
+      std::unordered_multimap<K, V2> table;
+      table.reserve(rs[p].size());
+      for (R& kv : rs[p]) table.emplace(kv.first, std::move(kv.second));
+      for (const L& kv : ls[p]) {
+        auto range = table.equal_range(kv.first);
+        if (range.first == range.second) {
+          result[p].emplace_back(
+              kv.first, std::make_pair(kv.second, std::make_pair(V2{}, false)));
+        } else {
+          for (auto it = range.first; it != range.second; ++it) {
+            result[p].emplace_back(
+                kv.first,
+                std::make_pair(kv.second, std::make_pair(it->second, true)));
+          }
+        }
+      }
+    });
+    return result;
+  };
+  return Dataset<O>(std::move(out));
+}
+
+/// Aggregates values per key into an accumulator of a different type:
+/// `seq(acc, value)` folds values into a partition-local accumulator
+/// starting from `zero`; `comb(acc, acc)` merges accumulators across
+/// partitions (Spark's aggregateByKey).
+template <typename K, typename V, typename A, typename SeqFn, typename CombFn>
+Dataset<std::pair<K, A>> AggregateByKey(const Dataset<std::pair<K, V>>& ds,
+                                        A zero, SeqFn seq, CombFn comb,
+                                        size_t num_partitions = 0) {
+  using KV = std::pair<K, V>;
+  using KA = std::pair<K, A>;
+  auto parent = ds.impl();
+  size_t np = num_partitions == 0 ? parent->num_partitions : num_partitions;
+  auto out = std::make_shared<internal_dataset::Impl<KA>>();
+  out->ctx = parent->ctx;
+  out->num_partitions = np;
+  out->compute = [parent, zero, seq, comb, np]() {
+    // Phase 1: partition-local pre-aggregation (the combiner optimization —
+    // shuffles accumulators instead of raw values).
+    const auto& in = parent->Materialize();
+    Partitions<KA> local(in.size());
+    parent->ctx->RunParallel(in.size(), [&](size_t i) {
+      std::unordered_map<K, A> agg;
+      for (const KV& kv : in[i]) {
+        auto [it, inserted] = agg.try_emplace(kv.first, zero);
+        it->second = seq(it->second, kv.second);
+      }
+      local[i].reserve(agg.size());
+      for (auto& [k, a] : agg) local[i].emplace_back(k, std::move(a));
+    });
+    // Phase 2: shuffle accumulators and merge.
+    Partitions<KA> shuffled = Dataset<KA>::ShuffleBy(
+        parent->ctx.get(), local, np,
+        [](const KA& ka) { return std::hash<K>{}(ka.first); });
+    Partitions<KA> result(np);
+    parent->ctx->RunParallel(np, [&](size_t p) {
+      std::unordered_map<K, A> agg;
+      for (KA& ka : shuffled[p]) {
+        auto [it, inserted] = agg.try_emplace(ka.first, std::move(ka.second));
+        if (!inserted) it->second = comb(it->second, ka.second);
+      }
+      result[p].reserve(agg.size());
+      for (auto& [k, a] : agg) result[p].emplace_back(k, std::move(a));
+    });
+    return result;
+  };
+  return Dataset<KA>(std::move(out));
+}
+
+/// Groups both sides by key: emits (k, (values_left, values_right)) for
+/// every key present in either input (Spark's cogroup).
+template <typename K, typename V1, typename V2>
+Dataset<std::pair<K, std::pair<std::vector<V1>, std::vector<V2>>>> CoGroup(
+    const Dataset<std::pair<K, V1>>& left,
+    const Dataset<std::pair<K, V2>>& right, size_t num_partitions = 0) {
+  using L = std::pair<K, V1>;
+  using R = std::pair<K, V2>;
+  using O = std::pair<K, std::pair<std::vector<V1>, std::vector<V2>>>;
+  auto lp = left.impl();
+  auto rp = right.impl();
+  size_t np = num_partitions == 0 ? lp->num_partitions : num_partitions;
+  auto out = std::make_shared<internal_dataset::Impl<O>>();
+  out->ctx = lp->ctx;
+  out->num_partitions = np;
+  out->compute = [lp, rp, np]() {
+    Partitions<L> ls = Dataset<L>::ShuffleBy(
+        lp->ctx.get(), lp->Materialize(), np,
+        [](const L& kv) { return std::hash<K>{}(kv.first); });
+    Partitions<R> rs = Dataset<R>::ShuffleBy(
+        lp->ctx.get(), rp->Materialize(), np,
+        [](const R& kv) { return std::hash<K>{}(kv.first); });
+    Partitions<O> result(np);
+    lp->ctx->RunParallel(np, [&](size_t p) {
+      std::unordered_map<K, std::pair<std::vector<V1>, std::vector<V2>>> groups;
+      for (L& kv : ls[p]) groups[kv.first].first.push_back(std::move(kv.second));
+      for (R& kv : rs[p]) groups[kv.first].second.push_back(std::move(kv.second));
+      result[p].reserve(groups.size());
+      for (auto& [k, vs] : groups) result[p].emplace_back(k, std::move(vs));
+    });
+    return result;
+  };
+  return Dataset<O>(std::move(out));
+}
+
+/// Counts occurrences per key (action).
+template <typename K, typename V>
+std::unordered_map<K, size_t> CountByKey(const Dataset<std::pair<K, V>>& ds) {
+  auto counted = ReduceByKey(
+      ds.Map([](const std::pair<K, V>& kv) { return std::make_pair(kv.first, size_t{1}); }),
+      [](size_t a, size_t b) { return a + b; });
+  std::unordered_map<K, size_t> out;
+  for (auto& [k, c] : counted.Collect()) out[k] = c;
+  return out;
+}
+
+/// Keys a dataset by `key_fn(x)`, producing (key, x) pairs.
+template <typename T, typename F>
+auto KeyBy(const Dataset<T>& ds, F key_fn)
+    -> Dataset<std::pair<std::decay_t<std::invoke_result_t<F, const T&>>, T>> {
+  using K = std::decay_t<std::invoke_result_t<F, const T&>>;
+  return ds.Map(
+      [key_fn](const T& x) { return std::make_pair(K(key_fn(x)), x); });
+}
+
+}  // namespace cfnet::dataflow
+
+#endif  // CFNET_DATAFLOW_DATASET_H_

@@ -1,0 +1,52 @@
+#include "dfs/jsonl.h"
+
+#include "util/string_util.h"
+
+namespace cfnet::dfs {
+
+JsonLinesWriter::JsonLinesWriter(MiniDfs* dfs, std::string path,
+                                 size_t flush_bytes)
+    : dfs_(dfs), path_(std::move(path)), flush_bytes_(flush_bytes) {}
+
+JsonLinesWriter::~JsonLinesWriter() { Flush().ok(); }
+
+Status JsonLinesWriter::Write(const json::Json& record) {
+  buffer_ += record.Dump();
+  buffer_ += '\n';
+  ++records_written_;
+  if (buffer_.size() >= flush_bytes_) return Flush();
+  return Status::OK();
+}
+
+Status JsonLinesWriter::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  Status s = dfs_->Append(path_, buffer_);
+  if (s.ok()) buffer_.clear();
+  return s;
+}
+
+Result<std::vector<json::Json>> ReadJsonLines(const MiniDfs& dfs,
+                                              const std::string& path) {
+  CFNET_ASSIGN_OR_RETURN(std::string content, dfs.ReadFile(path));
+  std::vector<json::Json> out;
+  size_t start = 0;
+  size_t line_no = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    ++line_no;
+    std::string_view line(content.data() + start, end - start);
+    if (!StrTrim(line).empty()) {
+      auto parsed = json::Parse(line);
+      if (!parsed.ok()) {
+        return Status::Corruption(path + ":" + std::to_string(line_no) + ": " +
+                                  parsed.status().message());
+      }
+      out.push_back(std::move(parsed).value());
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace cfnet::dfs

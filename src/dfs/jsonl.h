@@ -1,0 +1,48 @@
+#ifndef CFNET_DFS_JSONL_H_
+#define CFNET_DFS_JSONL_H_
+
+#include <string>
+#include <vector>
+
+#include "dfs/dfs.h"
+#include "json/json.h"
+#include "util/result.h"
+
+namespace cfnet::dfs {
+
+/// Buffered writer of JSON-lines snapshot files into MiniDFS — the format
+/// the crawler stores records in (one JSON document per line, as the paper's
+/// platform stores crawled documents in HDFS).
+class JsonLinesWriter {
+ public:
+  /// Buffers up to `flush_bytes` before appending to `path`.
+  JsonLinesWriter(MiniDfs* dfs, std::string path, size_t flush_bytes = 1 << 20);
+  ~JsonLinesWriter();
+
+  JsonLinesWriter(const JsonLinesWriter&) = delete;
+  JsonLinesWriter& operator=(const JsonLinesWriter&) = delete;
+
+  /// Serializes one record as a compact JSON line.
+  Status Write(const json::Json& record);
+
+  /// Flushes buffered lines to the DFS.
+  Status Flush();
+
+  size_t records_written() const { return records_written_; }
+
+ private:
+  MiniDfs* dfs_;
+  std::string path_;
+  size_t flush_bytes_;
+  std::string buffer_;
+  size_t records_written_ = 0;
+};
+
+/// Reads every record of a JSON-lines file. Malformed lines produce an error
+/// (the crawler only writes well-formed lines; corruption means DFS trouble).
+Result<std::vector<json::Json>> ReadJsonLines(const MiniDfs& dfs,
+                                              const std::string& path);
+
+}  // namespace cfnet::dfs
+
+#endif  // CFNET_DFS_JSONL_H_

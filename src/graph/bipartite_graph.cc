@@ -1,0 +1,153 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+
+namespace cfnet::graph {
+
+BipartiteGraph BipartiteGraph::FromEdges(
+    const std::vector<std::pair<uint64_t, uint64_t>>& edges) {
+  BipartiteGraph g;
+  if (edges.empty()) {
+    g.out_offsets_ = {0};
+    g.in_offsets_ = {0};
+    return g;
+  }
+  // Sort + dedup edges by (left, right).
+  std::vector<std::pair<uint64_t, uint64_t>> sorted = edges;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  // Dense ids. Left ids appear grouped already; right ids need a sorted set.
+  for (const auto& [l, r] : sorted) {
+    if (g.left_ids_.empty() || g.left_ids_.back() != l) g.left_ids_.push_back(l);
+  }
+  {
+    std::vector<uint64_t> rights;
+    rights.reserve(sorted.size());
+    for (const auto& [l, r] : sorted) rights.push_back(r);
+    std::sort(rights.begin(), rights.end());
+    rights.erase(std::unique(rights.begin(), rights.end()), rights.end());
+    g.right_ids_ = std::move(rights);
+  }
+  g.BuildIndexMaps();
+
+  g.out_offsets_.assign(g.left_ids_.size() + 1, 0);
+  g.out_neighbors_.reserve(sorted.size());
+  size_t li = 0;
+  for (const auto& [l, r] : sorted) {
+    while (g.left_ids_[li] != l) ++li;
+    g.out_neighbors_.push_back(g.right_index_.at(r));
+    ++g.out_offsets_[li + 1];
+  }
+  for (size_t i = 1; i <= g.left_ids_.size(); ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+  }
+  // Out-neighbor lists are sorted by right id order == dense order, since
+  // right dense indices are assigned in id order and edges were sorted.
+  g.BuildInverse();
+  return g;
+}
+
+void BipartiteGraph::BuildIndexMaps() {
+  left_index_.reserve(left_ids_.size() * 2);
+  for (uint32_t i = 0; i < left_ids_.size(); ++i) left_index_[left_ids_[i]] = i;
+  right_index_.reserve(right_ids_.size() * 2);
+  for (uint32_t i = 0; i < right_ids_.size(); ++i) {
+    right_index_[right_ids_[i]] = i;
+  }
+}
+
+void BipartiteGraph::BuildInverse() {
+  in_offsets_.assign(right_ids_.size() + 1, 0);
+  for (uint32_t r : out_neighbors_) ++in_offsets_[r + 1];
+  for (size_t i = 1; i <= right_ids_.size(); ++i) {
+    in_offsets_[i] += in_offsets_[i - 1];
+  }
+  in_neighbors_.resize(out_neighbors_.size());
+  std::vector<size_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (uint32_t l = 0; l < left_ids_.size(); ++l) {
+    for (uint32_t r : OutNeighbors(l)) {
+      in_neighbors_[cursor[r]++] = l;
+    }
+  }
+  // Left indices were visited in ascending order, so in-lists are sorted.
+}
+
+uint32_t BipartiteGraph::LeftIndexOf(uint64_t id) const {
+  auto it = left_index_.find(id);
+  return it == left_index_.end() ? kInvalidIndex : it->second;
+}
+
+uint32_t BipartiteGraph::RightIndexOf(uint64_t id) const {
+  auto it = right_index_.find(id);
+  return it == right_index_.end() ? kInvalidIndex : it->second;
+}
+
+size_t BipartiteGraph::SharedOutNeighbors(uint32_t l1, uint32_t l2) const {
+  auto a = OutNeighbors(l1);
+  auto b = OutNeighbors(l2);
+  size_t i = 0;
+  size_t j = 0;
+  size_t shared = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++shared;
+      ++i;
+      ++j;
+    }
+  }
+  return shared;
+}
+
+BipartiteGraph BipartiteGraph::FilterLeftByMinDegree(size_t min_degree) const {
+  std::vector<std::pair<uint64_t, uint64_t>> kept;
+  for (uint32_t l = 0; l < num_left(); ++l) {
+    if (OutDegree(l) < min_degree) continue;
+    for (uint32_t r : OutNeighbors(l)) {
+      kept.emplace_back(left_ids_[l], right_ids_[r]);
+    }
+  }
+  return FromEdges(kept);
+}
+
+DegreeSummary SummarizeOutDegrees(const BipartiteGraph& g,
+                                  std::vector<size_t> thresholds) {
+  DegreeSummary s;
+  const size_t n = g.num_left();
+  if (n == 0) return s;
+  std::vector<size_t> degrees(n);
+  size_t total_edges = 0;
+  for (uint32_t l = 0; l < n; ++l) {
+    degrees[l] = g.OutDegree(l);
+    total_edges += degrees[l];
+    s.max = std::max(s.max, degrees[l]);
+  }
+  s.mean = static_cast<double>(total_edges) / static_cast<double>(n);
+  std::vector<size_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+  s.median = (n % 2 == 1)
+                 ? static_cast<double>(sorted[n / 2])
+                 : (static_cast<double>(sorted[n / 2 - 1] + sorted[n / 2]) / 2.0);
+  for (size_t k : thresholds) {
+    size_t nodes = 0;
+    size_t edges = 0;
+    for (size_t d : degrees) {
+      if (d >= k) {
+        ++nodes;
+        edges += d;
+      }
+    }
+    s.concentration.push_back(
+        {k, static_cast<double>(nodes) / static_cast<double>(n),
+         total_edges == 0
+             ? 0
+             : static_cast<double>(edges) / static_cast<double>(total_edges)});
+  }
+  return s;
+}
+
+}  // namespace cfnet::graph

@@ -1,0 +1,243 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace cfnet::graph {
+
+std::vector<int> ConnectedComponents(const WeightedGraph& g,
+                                     size_t* num_components) {
+  const size_t n = g.num_nodes();
+  std::vector<int> component(n, -1);
+  int next = 0;
+  std::deque<uint32_t> queue;
+  for (uint32_t start = 0; start < n; ++start) {
+    if (component[start] != -1) continue;
+    component[start] = next;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      uint32_t v = queue.front();
+      queue.pop_front();
+      for (uint32_t u : g.Neighbors(v)) {
+        if (component[u] == -1) {
+          component[u] = next;
+          queue.push_back(u);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components != nullptr) *num_components = static_cast<size_t>(next);
+  return component;
+}
+
+size_t LargestComponentSize(const WeightedGraph& g) {
+  size_t num = 0;
+  std::vector<int> component = ConnectedComponents(g, &num);
+  std::vector<size_t> sizes(num, 0);
+  for (int c : component) ++sizes[static_cast<size_t>(c)];
+  size_t best = 0;
+  for (size_t s : sizes) best = std::max(best, s);
+  return best;
+}
+
+std::vector<double> DegreeCentrality(const WeightedGraph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<double> out(n, 0);
+  if (n <= 1) return out;
+  for (uint32_t v = 0; v < n; ++v) {
+    out[v] = static_cast<double>(g.Neighbors(v).size()) /
+             static_cast<double>(n - 1);
+  }
+  return out;
+}
+
+namespace {
+
+/// Sources for sampled centrality: all nodes when samples == 0 or >= n.
+std::vector<uint32_t> PickSources(size_t n, size_t samples, uint64_t seed) {
+  std::vector<uint32_t> sources;
+  if (samples == 0 || samples >= n) {
+    sources.resize(n);
+    std::iota(sources.begin(), sources.end(), 0);
+  } else {
+    Rng rng(seed);
+    for (size_t idx : rng.SampleWithoutReplacement(n, samples)) {
+      sources.push_back(static_cast<uint32_t>(idx));
+    }
+  }
+  return sources;
+}
+
+}  // namespace
+
+std::vector<double> HarmonicCentrality(const WeightedGraph& g,
+                                       size_t sample_sources, uint64_t seed) {
+  const size_t n = g.num_nodes();
+  std::vector<double> score(n, 0);
+  if (n <= 1) return score;
+  std::vector<uint32_t> sources = PickSources(n, sample_sources, seed);
+  // Accumulate 1/d(source, v) into score[v]; by symmetry of distances this
+  // estimates the same quantity as summing from v outward.
+  std::vector<int> dist(n);
+  std::deque<uint32_t> queue;
+  for (uint32_t s : sources) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[s] = 0;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      uint32_t v = queue.front();
+      queue.pop_front();
+      for (uint32_t u : g.Neighbors(v)) {
+        if (dist[u] == -1) {
+          dist[u] = dist[v] + 1;
+          queue.push_back(u);
+        }
+      }
+    }
+    for (uint32_t v = 0; v < n; ++v) {
+      if (v != s && dist[v] > 0) score[v] += 1.0 / dist[v];
+    }
+  }
+  const double norm = static_cast<double>(sources.size()) /
+                      static_cast<double>(n) * static_cast<double>(n - 1);
+  for (double& x : score) x /= norm;
+  return score;
+}
+
+std::vector<double> BetweennessCentrality(const WeightedGraph& g,
+                                          size_t sample_sources,
+                                          uint64_t seed) {
+  const size_t n = g.num_nodes();
+  std::vector<double> score(n, 0);
+  if (n <= 2) return score;
+  std::vector<uint32_t> sources = PickSources(n, sample_sources, seed);
+
+  // Brandes' accumulation per source.
+  std::vector<int> dist(n);
+  std::vector<double> sigma(n);
+  std::vector<double> delta(n);
+  std::vector<std::vector<uint32_t>> preds(n);
+  std::vector<uint32_t> order;  // nodes in non-decreasing distance
+  order.reserve(n);
+  std::deque<uint32_t> queue;
+
+  for (uint32_t s : sources) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& p : preds) p.clear();
+    order.clear();
+
+    dist[s] = 0;
+    sigma[s] = 1;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      uint32_t v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      for (uint32_t u : g.Neighbors(v)) {
+        if (dist[u] == -1) {
+          dist[u] = dist[v] + 1;
+          queue.push_back(u);
+        }
+        if (dist[u] == dist[v] + 1) {
+          sigma[u] += sigma[v];
+          preds[u].push_back(v);
+        }
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      uint32_t w = *it;
+      for (uint32_t v : preds[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) score[w] += delta[w];
+    }
+  }
+
+  // Undirected double-counting plus sampling scale-up plus normalization.
+  const double scale_up =
+      static_cast<double>(n) / static_cast<double>(sources.size());
+  const double pairs =
+      static_cast<double>(n - 1) * static_cast<double>(n - 2) / 2.0;
+  for (double& x : score) x = x * scale_up / 2.0 / pairs;
+  return score;
+}
+
+std::vector<int> CoreNumbers(const WeightedGraph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<int> degree(n);
+  int max_degree = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<int>(g.Neighbors(v).size());
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort by degree (Batagelj-Zaversnik peeling).
+  std::vector<std::vector<uint32_t>> buckets(static_cast<size_t>(max_degree) + 1);
+  for (uint32_t v = 0; v < n; ++v) {
+    buckets[static_cast<size_t>(degree[v])].push_back(v);
+  }
+  std::vector<int> core(n, 0);
+  std::vector<char> removed(n, 0);
+  int current = 0;
+  for (int d = 0; d <= max_degree; ++d) {
+    // Buckets can gain nodes below the current level as degrees drop.
+    for (size_t i = 0; i < buckets[static_cast<size_t>(d)].size(); ++i) {
+      uint32_t v = buckets[static_cast<size_t>(d)][i];
+      if (removed[v] || degree[v] > d) continue;
+      current = std::max(current, d);
+      core[v] = current;
+      removed[v] = 1;
+      for (uint32_t u : g.Neighbors(v)) {
+        if (!removed[u] && degree[u] > d) {
+          --degree[u];
+          if (degree[u] <= d) {
+            buckets[static_cast<size_t>(d)].push_back(u);
+          } else {
+            buckets[static_cast<size_t>(degree[u])].push_back(u);
+          }
+        }
+      }
+    }
+  }
+  return core;
+}
+
+std::vector<double> PageRank(const WeightedGraph& g, double damping,
+                             int max_iterations, double tolerance) {
+  const size_t n = g.num_nodes();
+  std::vector<double> rank(n, n == 0 ? 0.0 : 1.0 / static_cast<double>(n));
+  if (n == 0) return rank;
+  std::vector<double> next(n, 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double dangling = 0;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (g.WeightedDegree(v) <= 0) dangling += rank[v];
+    }
+    double base = (1.0 - damping) / static_cast<double>(n) +
+                  damping * dangling / static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (uint32_t v = 0; v < n; ++v) {
+      double wd = g.WeightedDegree(v);
+      if (wd <= 0) continue;
+      auto nbrs = g.Neighbors(v);
+      auto ws = g.Weights(v);
+      double share = damping * rank[v] / wd;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        next[nbrs[i]] += share * ws[i];
+      }
+    }
+    double diff = 0;
+    for (uint32_t v = 0; v < n; ++v) diff += std::fabs(next[v] - rank[v]);
+    rank.swap(next);
+    if (diff < tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace cfnet::graph

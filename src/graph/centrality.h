@@ -1,0 +1,52 @@
+#ifndef CFNET_GRAPH_CENTRALITY_H_
+#define CFNET_GRAPH_CENTRALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted_graph.h"
+
+namespace cfnet::graph {
+
+/// Centrality and connectivity measures over the (undirected, weighted)
+/// co-investment projection — the §7 graph characteristics the paper plans
+/// to feed into success prediction ("node degree, connectivity, and
+/// measures of centrality").
+
+/// Connected components; returns per-node component id (0-based, by
+/// discovery order) and sets *num_components.
+std::vector<int> ConnectedComponents(const WeightedGraph& g,
+                                     size_t* num_components);
+
+/// Size of the largest connected component.
+size_t LargestComponentSize(const WeightedGraph& g);
+
+/// Unweighted degree centrality, normalized by (n-1).
+std::vector<double> DegreeCentrality(const WeightedGraph& g);
+
+/// Harmonic (closeness-like) centrality via BFS on the unweighted
+/// skeleton: C(v) = sum_{u != v} 1/d(v,u), normalized by (n-1).
+/// Exact when `sample_sources` = 0; otherwise estimated from that many
+/// sampled sources (scales to large graphs).
+std::vector<double> HarmonicCentrality(const WeightedGraph& g,
+                                       size_t sample_sources = 0,
+                                       uint64_t seed = 1);
+
+/// Brandes betweenness centrality on the unweighted skeleton, normalized
+/// to [0,1] by (n-1)(n-2)/2. Exact when `sample_sources` = 0; otherwise a
+/// scaled estimate from sampled sources (Brandes & Pich 2007).
+std::vector<double> BetweennessCentrality(const WeightedGraph& g,
+                                          size_t sample_sources = 0,
+                                          uint64_t seed = 1);
+
+/// K-core decomposition (unweighted): per-node core number — the maximal
+/// k such that the node belongs to a subgraph of minimum degree k.
+std::vector<int> CoreNumbers(const WeightedGraph& g);
+
+/// PageRank with uniform teleport (damping d), on edge weights.
+std::vector<double> PageRank(const WeightedGraph& g, double damping = 0.85,
+                             int max_iterations = 100, double tolerance = 1e-9);
+
+}  // namespace cfnet::graph
+
+#endif  // CFNET_GRAPH_CENTRALITY_H_

@@ -1,0 +1,70 @@
+#include "graph/weighted_graph.h"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+
+namespace cfnet::graph {
+
+WeightedGraph WeightedGraph::ProjectLeft(const BipartiteGraph& g,
+                                         size_t max_right_degree) {
+  // Accumulate pair counts; key packs the (smaller, larger) dense indices.
+  std::unordered_map<uint64_t, double> pair_weight;
+  for (uint32_t r = 0; r < g.num_right(); ++r) {
+    auto investors = g.InNeighbors(r);
+    if (max_right_degree > 0 && investors.size() > max_right_degree) continue;
+    for (size_t i = 0; i < investors.size(); ++i) {
+      for (size_t j = i + 1; j < investors.size(); ++j) {
+        uint64_t key = (static_cast<uint64_t>(investors[i]) << 32) |
+                       investors[j];
+        pair_weight[key] += 1.0;
+      }
+    }
+  }
+  std::vector<std::tuple<uint32_t, uint32_t, double>> edges;
+  edges.reserve(pair_weight.size());
+  for (const auto& [key, w] : pair_weight) {
+    edges.emplace_back(static_cast<uint32_t>(key >> 32),
+                       static_cast<uint32_t>(key & 0xffffffffull), w);
+  }
+  WeightedGraph out;
+  out.FinishBuild(g.num_left(), edges);
+  return out;
+}
+
+WeightedGraph WeightedGraph::FromEdges(
+    size_t num_nodes,
+    const std::vector<std::tuple<uint32_t, uint32_t, double>>& edges) {
+  WeightedGraph out;
+  std::vector<std::tuple<uint32_t, uint32_t, double>> copy = edges;
+  out.FinishBuild(num_nodes, copy);
+  return out;
+}
+
+void WeightedGraph::FinishBuild(
+    size_t num_nodes,
+    std::vector<std::tuple<uint32_t, uint32_t, double>>& edges) {
+  offsets_.assign(num_nodes + 1, 0);
+  for (const auto& [a, b, w] : edges) {
+    ++offsets_[a + 1];
+    ++offsets_[b + 1];
+  }
+  for (size_t i = 1; i <= num_nodes; ++i) offsets_[i] += offsets_[i - 1];
+  neighbors_.resize(edges.size() * 2);
+  weights_.resize(edges.size() * 2);
+  std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [a, b, w] : edges) {
+    neighbors_[cursor[a]] = b;
+    weights_[cursor[a]++] = w;
+    neighbors_[cursor[b]] = a;
+    weights_[cursor[b]++] = w;
+  }
+  weighted_degree_.assign(num_nodes, 0);
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    auto ws = Weights(v);
+    for (double w : ws) weighted_degree_[v] += w;
+    total_weight_2m_ += weighted_degree_[v];
+  }
+}
+
+}  // namespace cfnet::graph

@@ -1,0 +1,66 @@
+#ifndef CFNET_GRAPH_WEIGHTED_GRAPH_H_
+#define CFNET_GRAPH_WEIGHTED_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace cfnet::graph {
+
+/// Undirected weighted graph in CSR form (each edge stored in both
+/// directions). Node indices correspond to the left side of the bipartite
+/// graph it was projected from.
+///
+/// Used by the community-detection baselines (Louvain, label propagation):
+/// projecting the investor->company bipartite graph gives investor-investor
+/// edges weighted by co-investment count.
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+
+  /// Co-investment projection onto left nodes: weight(i,j) = number of
+  /// companies i and j both invested in. Companies with in-degree above
+  /// `max_right_degree` are skipped (0 = no cap) — the standard guard
+  /// against quadratic blowup on super-popular items.
+  static WeightedGraph ProjectLeft(const BipartiteGraph& g,
+                                   size_t max_right_degree = 0);
+
+  /// Builds directly from undirected weighted edges over [0, num_nodes).
+  static WeightedGraph FromEdges(
+      size_t num_nodes,
+      const std::vector<std::tuple<uint32_t, uint32_t, double>>& edges);
+
+  size_t num_nodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  /// Number of undirected edges.
+  size_t num_edges() const { return neighbors_.size() / 2; }
+
+  std::span<const uint32_t> Neighbors(uint32_t v) const {
+    return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+  std::span<const double> Weights(uint32_t v) const {
+    return {weights_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Sum of incident edge weights of `v`.
+  double WeightedDegree(uint32_t v) const { return weighted_degree_[v]; }
+  /// Total weight 2m = sum over nodes of weighted degree.
+  double TotalWeight2m() const { return total_weight_2m_; }
+
+ private:
+  void FinishBuild(size_t num_nodes,
+                   std::vector<std::tuple<uint32_t, uint32_t, double>>& edges);
+
+  std::vector<size_t> offsets_;
+  std::vector<uint32_t> neighbors_;
+  std::vector<double> weights_;
+  std::vector<double> weighted_degree_;
+  double total_weight_2m_ = 0;
+};
+
+}  // namespace cfnet::graph
+
+#endif  // CFNET_GRAPH_WEIGHTED_GRAPH_H_

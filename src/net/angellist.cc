@@ -1,0 +1,178 @@
+#include "net/angellist.h"
+
+#include "net/urls.h"
+
+namespace cfnet::net {
+namespace {
+
+json::Json StartupSummaryJson(const synth::CompanyTruth& c) {
+  json::Json j = json::Json::MakeObject();
+  j.Set("id", static_cast<int64_t>(c.id));
+  j.Set("name", c.name);
+  j.Set("angellist_url", AngelListCompanyUrl(c.id));
+  return j;
+}
+
+const char* RoleName(synth::UserRole role) {
+  switch (role) {
+    case synth::UserRole::kInvestor:
+      return "investor";
+    case synth::UserRole::kFounder:
+      return "founder";
+    case synth::UserRole::kEmployee:
+      return "employee";
+    case synth::UserRole::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+}  // namespace
+
+AngelListService::AngelListService(const synth::World* world,
+                                   ServiceConfig config)
+    : ApiService("angellist", world, config) {
+  for (const auto& c : world->companies()) {
+    if (c.currently_raising) raising_.push_back(c.id);
+  }
+}
+
+ApiResponse AngelListService::Dispatch(const ApiRequest& request, int64_t) {
+  if (request.endpoint == "startups.raising") return HandleRaising(request);
+  if (request.endpoint == "startups.get") return HandleStartupGet(request);
+  if (request.endpoint == "startups.followers") {
+    return HandleStartupFollowers(request);
+  }
+  if (request.endpoint == "users.get") return HandleUserGet(request);
+  if (request.endpoint == "users.following.startups") {
+    return HandleUserFollowing(request, /*startups=*/true);
+  }
+  if (request.endpoint == "users.following.users") {
+    return HandleUserFollowing(request, /*startups=*/false);
+  }
+  return ApiResponse::Error(400, "unknown endpoint: " + request.endpoint);
+}
+
+ApiResponse AngelListService::HandleRaising(const ApiRequest& request) {
+  int64_t page = request.GetIntParam("page", 1);
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t last_page = 0;
+  if (!PageRange(static_cast<int64_t>(raising_.size()), page, &begin, &end,
+                 &last_page)) {
+    return ApiResponse::Error(404, "page out of range");
+  }
+  json::Json body = json::Json::MakeObject();
+  json::Json startups = json::Json::MakeArray();
+  for (int64_t i = begin; i < end; ++i) {
+    startups.Append(
+        StartupSummaryJson(*world().FindCompany(raising_[static_cast<size_t>(i)])));
+  }
+  body.Set("startups", std::move(startups));
+  body.Set("page", page);
+  body.Set("last_page", last_page);
+  body.Set("total", static_cast<int64_t>(raising_.size()));
+  return ApiResponse::Ok(std::move(body));
+}
+
+ApiResponse AngelListService::HandleStartupGet(const ApiRequest& request) {
+  const synth::CompanyTruth* c =
+      world().FindCompany(static_cast<synth::CompanyId>(request.GetIntParam("id")));
+  if (c == nullptr) return ApiResponse::Error(404, "no such startup");
+
+  json::Json j = StartupSummaryJson(*c);
+  j.Set("company_url", "https://www." + std::to_string(c->id) + ".example.com");
+  j.Set("fundraising", c->currently_raising);
+  j.Set("follower_count",
+        static_cast<int64_t>(world().FollowersOf(c->id).size()));
+  if (c->has_twitter()) j.Set("twitter_url", TwitterUrl(c->id));
+  if (c->has_facebook()) j.Set("facebook_url", FacebookUrl(c->id));
+  if (c->crunchbase_url_listed) j.Set("crunchbase_url", CrunchBaseUrl(c->id));
+  if (c->has_demo_video) {
+    j.Set("video_url", "https://video.example.com/demo/" + std::to_string(c->id));
+  }
+  json::Json founders = json::Json::MakeArray();
+  for (synth::UserId f : c->founders) founders.Append(static_cast<int64_t>(f));
+  j.Set("founder_ids", std::move(founders));
+  return ApiResponse::Ok(std::move(j));
+}
+
+ApiResponse AngelListService::HandleStartupFollowers(const ApiRequest& request) {
+  const synth::CompanyTruth* c =
+      world().FindCompany(static_cast<synth::CompanyId>(request.GetIntParam("id")));
+  if (c == nullptr) return ApiResponse::Error(404, "no such startup");
+  const auto& followers = world().FollowersOf(c->id);
+  int64_t page = request.GetIntParam("page", 1);
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t last_page = 0;
+  if (!PageRange(static_cast<int64_t>(followers.size()), page, &begin, &end,
+                 &last_page)) {
+    return ApiResponse::Error(404, "page out of range");
+  }
+  json::Json body = json::Json::MakeObject();
+  json::Json ids = json::Json::MakeArray();
+  for (int64_t i = begin; i < end; ++i) {
+    ids.Append(static_cast<int64_t>(followers[static_cast<size_t>(i)]));
+  }
+  body.Set("follower_ids", std::move(ids));
+  body.Set("page", page);
+  body.Set("last_page", last_page);
+  body.Set("total", static_cast<int64_t>(followers.size()));
+  return ApiResponse::Ok(std::move(body));
+}
+
+ApiResponse AngelListService::HandleUserGet(const ApiRequest& request) {
+  const synth::UserTruth* u =
+      world().FindUser(static_cast<synth::UserId>(request.GetIntParam("id")));
+  if (u == nullptr) return ApiResponse::Error(404, "no such user");
+  json::Json j = json::Json::MakeObject();
+  j.Set("id", static_cast<int64_t>(u->id));
+  j.Set("name", u->name);
+  j.Set("angellist_url", AngelListUserUrl(u->id));
+  json::Json roles = json::Json::MakeArray();
+  roles.Append(RoleName(u->role));
+  j.Set("roles", std::move(roles));
+  // Only the AngelList-visible investment edges appear on the profile;
+  // the remainder is recoverable solely through CrunchBase rounds (§3:
+  // "AngelList data is incomplete").
+  json::Json investments = json::Json::MakeArray();
+  for (size_t i = 0; i < u->investments.size(); ++i) {
+    if (u->investment_on_angellist[i]) {
+      investments.Append(static_cast<int64_t>(u->investments[i]));
+    }
+  }
+  j.Set("investment_company_ids", std::move(investments));
+  return ApiResponse::Ok(std::move(j));
+}
+
+ApiResponse AngelListService::HandleUserFollowing(const ApiRequest& request,
+                                                  bool startups) {
+  const synth::UserTruth* u =
+      world().FindUser(static_cast<synth::UserId>(request.GetIntParam("id")));
+  if (u == nullptr) return ApiResponse::Error(404, "no such user");
+  // CompanyId and UserId are both uint64_t, so the two follow lists share a
+  // vector type.
+  const std::vector<uint64_t>& list =
+      startups ? u->follows_companies : u->follows_users;
+  int64_t page = request.GetIntParam("page", 1);
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t last_page = 0;
+  if (!PageRange(static_cast<int64_t>(list.size()), page, &begin, &end,
+                 &last_page)) {
+    return ApiResponse::Error(404, "page out of range");
+  }
+  json::Json body = json::Json::MakeObject();
+  json::Json ids = json::Json::MakeArray();
+  for (int64_t i = begin; i < end; ++i) {
+    ids.Append(static_cast<int64_t>(list[static_cast<size_t>(i)]));
+  }
+  body.Set(startups ? "startup_ids" : "user_ids", std::move(ids));
+  body.Set("page", page);
+  body.Set("last_page", last_page);
+  body.Set("total", static_cast<int64_t>(list.size()));
+  return ApiResponse::Ok(std::move(body));
+}
+
+}  // namespace cfnet::net

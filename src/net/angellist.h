@@ -1,0 +1,45 @@
+#ifndef CFNET_NET_ANGELLIST_H_
+#define CFNET_NET_ANGELLIST_H_
+
+#include <vector>
+
+#include "net/service.h"
+
+namespace cfnet::net {
+
+/// Simulated AngelList public API.
+///
+/// Endpoints (all public, paginated where noted):
+///  - "startups.raising"    {page}      -> startups currently fundraising
+///                                         (the crawl's only entry point,
+///                                         as the paper describes).
+///  - "startups.get"        {id}        -> full startup profile, with the
+///                                         social/CrunchBase URLs that seed
+///                                         the other crawlers.
+///  - "startups.followers"  {id, page}  -> ids of users following a startup.
+///  - "users.get"           {id}        -> user profile: roles + AngelList-
+///                                         visible investments.
+///  - "users.following.startups" {id, page} -> startups the user follows.
+///  - "users.following.users"    {id, page} -> users the user follows.
+class AngelListService : public ApiService {
+ public:
+  AngelListService(const synth::World* world, ServiceConfig config = {
+                       .latency_mean_micros = 80000,
+                   });
+
+ protected:
+  ApiResponse Dispatch(const ApiRequest& request, int64_t now_micros) override;
+
+ private:
+  ApiResponse HandleRaising(const ApiRequest& request);
+  ApiResponse HandleStartupGet(const ApiRequest& request);
+  ApiResponse HandleStartupFollowers(const ApiRequest& request);
+  ApiResponse HandleUserGet(const ApiRequest& request);
+  ApiResponse HandleUserFollowing(const ApiRequest& request, bool startups);
+
+  std::vector<synth::CompanyId> raising_;  // precomputed listing
+};
+
+}  // namespace cfnet::net
+
+#endif  // CFNET_NET_ANGELLIST_H_

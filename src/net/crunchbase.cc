@@ -1,0 +1,70 @@
+#include "net/crunchbase.h"
+
+#include "net/urls.h"
+
+namespace cfnet::net {
+
+CrunchBaseService::CrunchBaseService(const synth::World* world,
+                                     ServiceConfig config)
+    : ApiService("crunchbase", world, config) {
+  for (const auto& c : world->companies()) {
+    if (c.has_crunchbase) by_name_[c.name].push_back(c.id);
+  }
+}
+
+ApiResponse CrunchBaseService::Dispatch(const ApiRequest& request, int64_t) {
+  if (request.endpoint == "organizations.get") return HandleGet(request);
+  if (request.endpoint == "organizations.search") return HandleSearch(request);
+  return ApiResponse::Error(400, "unknown endpoint: " + request.endpoint);
+}
+
+ApiResponse CrunchBaseService::HandleGet(const ApiRequest& request) {
+  const std::string permalink = request.GetParam("permalink");
+  synth::CompanyId id = CompanyIdFromCrunchBasePermalink(permalink);
+  const synth::CompanyTruth* c = world().FindCompany(id);
+  if (c == nullptr || !c->has_crunchbase) {
+    return ApiResponse::Error(404, "no such organization: " + permalink);
+  }
+  json::Json j = json::Json::MakeObject();
+  j.Set("permalink", permalink);
+  j.Set("name", c->name);
+  j.Set("crunchbase_url", CrunchBaseUrl(c->id));
+  // CrunchBase links back to AngelList for every company in both places.
+  j.Set("angellist_url", AngelListCompanyUrl(c->id));
+  j.Set("total_funding_usd", c->raised_amount_usd);
+  json::Json rounds = json::Json::MakeArray();
+  for (size_t round_idx : world().RoundsOf(c->id)) {
+    const synth::FundingRound& r = world().rounds()[round_idx];
+    json::Json rj = json::Json::MakeObject();
+    rj.Set("round_index", static_cast<int64_t>(r.round_index));
+    rj.Set("amount_usd", r.amount_usd);
+    rj.Set("announced_on_micros", r.announced_on_micros);
+    json::Json investors = json::Json::MakeArray();
+    for (synth::UserId inv : r.investors) {
+      investors.Append(static_cast<int64_t>(inv));
+    }
+    rj.Set("investor_ids", std::move(investors));
+    rounds.Append(std::move(rj));
+  }
+  j.Set("funding_rounds", std::move(rounds));
+  return ApiResponse::Ok(std::move(j));
+}
+
+ApiResponse CrunchBaseService::HandleSearch(const ApiRequest& request) {
+  const std::string name = request.GetParam("name");
+  json::Json body = json::Json::MakeObject();
+  json::Json results = json::Json::MakeArray();
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    for (synth::CompanyId id : it->second) {
+      json::Json r = json::Json::MakeObject();
+      r.Set("permalink", CrunchBasePermalink(id));
+      r.Set("name", name);
+      results.Append(std::move(r));
+    }
+  }
+  body.Set("results", std::move(results));
+  return ApiResponse::Ok(std::move(body));
+}
+
+}  // namespace cfnet::net

@@ -1,0 +1,41 @@
+#ifndef CFNET_NET_CRUNCHBASE_H_
+#define CFNET_NET_CRUNCHBASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/service.h"
+
+namespace cfnet::net {
+
+/// Simulated CrunchBase public API.
+///
+/// Endpoints:
+///  - "organizations.get"    {permalink} -> funding profile with per-round
+///                                          amounts, dates and investor ids
+///                                          (404 for companies CrunchBase
+///                                          does not know, i.e. unfunded).
+///  - "organizations.search" {name}      -> organizations matching the name
+///                                          exactly; the augmenter only
+///                                          accepts unique hits, as §3 does.
+class CrunchBaseService : public ApiService {
+ public:
+  CrunchBaseService(const synth::World* world, ServiceConfig config = {
+                        .latency_mean_micros = 120000,
+                    });
+
+ protected:
+  ApiResponse Dispatch(const ApiRequest& request, int64_t now_micros) override;
+
+ private:
+  ApiResponse HandleGet(const ApiRequest& request);
+  ApiResponse HandleSearch(const ApiRequest& request);
+
+  /// Exact-name index over companies with a CrunchBase profile.
+  std::unordered_map<std::string, std::vector<synth::CompanyId>> by_name_;
+};
+
+}  // namespace cfnet::net
+
+#endif  // CFNET_NET_CRUNCHBASE_H_

@@ -1,0 +1,83 @@
+#include "net/facebook.h"
+
+#include <algorithm>
+
+#include "net/urls.h"
+#include "util/string_util.h"
+
+namespace cfnet::net {
+namespace {
+
+constexpr const char* kLocations[] = {
+    "San Francisco, CA", "New York, NY",  "Boston, MA",   "Austin, TX",
+    "Seattle, WA",       "Palo Alto, CA", "Chicago, IL",  "Los Angeles, CA",
+    "Denver, CO",        "Philadelphia, PA"};
+
+}  // namespace
+
+FacebookService::FacebookService(const synth::World* world,
+                                 ServiceConfig config)
+    : ApiService("facebook", world, config) {}
+
+bool FacebookService::EndpointRequiresToken(const std::string& endpoint) const {
+  if (endpoint == "oauth.token" || endpoint == "oauth.exchange") return false;
+  return config().requires_token;
+}
+
+ApiResponse FacebookService::Dispatch(const ApiRequest& request,
+                                      int64_t now_micros) {
+  if (request.endpoint == "oauth.token") {
+    std::string user = request.GetParam("user", "anonymous");
+    std::string token =
+        tokens().IssueShortLivedToken(user, now_micros, kShortTokenTtlMicros);
+    json::Json body = json::Json::MakeObject();
+    body.Set("access_token", token);
+    body.Set("expires_in_micros", kShortTokenTtlMicros);
+    return ApiResponse::Ok(std::move(body));
+  }
+  if (request.endpoint == "oauth.exchange") {
+    auto long_token =
+        tokens().ExchangeForLongLived(request.GetParam("token"), now_micros);
+    if (!long_token.ok()) {
+      return ApiResponse::Error(401, long_token.status().message());
+    }
+    json::Json body = json::Json::MakeObject();
+    body.Set("access_token", *long_token);
+    body.Set("long_lived", true);
+    return ApiResponse::Ok(std::move(body));
+  }
+  if (request.endpoint == "page.get") return HandlePageGet(request);
+  return ApiResponse::Error(400, "unknown endpoint: " + request.endpoint);
+}
+
+ApiResponse FacebookService::HandlePageGet(const ApiRequest& request) {
+  const std::string page_id = request.GetParam("page_id");
+  synth::CompanyId id = CompanyIdFromFacebookPageId(page_id);
+  const synth::CompanyTruth* c = world().FindCompany(id);
+  if (c == nullptr || !c->has_facebook()) {
+    return ApiResponse::Error(404, "no such page: " + page_id);
+  }
+  json::Json j = json::Json::MakeObject();
+  j.Set("id", page_id);
+  j.Set("name", c->name);
+  j.Set("location", kLocations[c->id % std::size(kLocations)]);
+  j.Set("fan_count", c->facebook_likes);
+  // Recent posts: deterministic filler, count scaling with engagement.
+  int64_t num_posts =
+      std::min<int64_t>(10, c->facebook_likes > 0 ? 1 + c->facebook_likes / 400 : 0);
+  json::Json posts = json::Json::MakeArray();
+  for (int64_t p = 0; p < num_posts; ++p) {
+    json::Json post = json::Json::MakeObject();
+    post.Set("message", StrFormat("Update #%lld from %s",
+                                  static_cast<long long>(p + 1), c->name.c_str()));
+    post.Set("created_time_micros",
+             static_cast<int64_t>((c->id * 37 + static_cast<uint64_t>(p)) %
+                                  (365ull * 24 * 3600)) *
+                 1000000);
+    posts.Append(std::move(post));
+  }
+  j.Set("posts", std::move(posts));
+  return ApiResponse::Ok(std::move(j));
+}
+
+}  // namespace cfnet::net

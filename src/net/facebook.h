@@ -1,0 +1,39 @@
+#ifndef CFNET_NET_FACEBOOK_H_
+#define CFNET_NET_FACEBOOK_H_
+
+#include "net/service.h"
+
+namespace cfnet::net {
+
+/// Simulated Facebook Graph API.
+///
+/// Endpoints:
+///  - "oauth.token"    {user}  -> short-lived token (expires after 2h of
+///                                virtual time); no token required.
+///  - "oauth.exchange" {token} -> long-lived token (never expires); this is
+///                                the "certain procedures including creating
+///                                a Facebook App" step from §3, after which
+///                                the crawler "can work without limitations".
+///  - "page.get"       {page_id} -> page profile: location, fan_count
+///                                (likes), recent posts. Requires a token.
+class FacebookService : public ApiService {
+ public:
+  FacebookService(const synth::World* world, ServiceConfig config = {
+                      .latency_mean_micros = 90000,
+                      .requires_token = true,
+                  });
+
+  /// Short-lived token lifetime (2 simulated hours).
+  static constexpr int64_t kShortTokenTtlMicros = 2ll * 3600 * 1000000;
+
+ protected:
+  ApiResponse Dispatch(const ApiRequest& request, int64_t now_micros) override;
+  bool EndpointRequiresToken(const std::string& endpoint) const override;
+
+ private:
+  ApiResponse HandlePageGet(const ApiRequest& request);
+};
+
+}  // namespace cfnet::net
+
+#endif  // CFNET_NET_FACEBOOK_H_

@@ -1,0 +1,119 @@
+#include "net/service.h"
+
+#include <cstdlib>
+
+namespace cfnet::net {
+namespace {
+
+/// Stateless 64-bit mix (SplitMix64 finalizer) for deterministic yet
+/// contention-free per-request latency/error draws.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+double UnitFromHash(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+int64_t ApiRequest::GetIntParam(const std::string& key, int64_t dflt) const {
+  auto it = params.find(key);
+  if (it == params.end()) return dflt;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+ApiService::ApiService(std::string name, const synth::World* world,
+                       ServiceConfig config)
+    : name_(std::move(name)),
+      world_(world),
+      config_(config),
+      tokens_(config.max_apps_per_owner) {
+  if (config_.rate_limit_calls > 0) {
+    limiter_ = std::make_unique<SlidingWindowRateLimiter>(
+        config_.rate_limit_calls, config_.rate_limit_window_micros);
+  }
+}
+
+int64_t ApiService::SampleLatency() {
+  uint64_t serial = request_serial_.fetch_add(1, std::memory_order_relaxed);
+  double u = UnitFromHash(Mix(serial * 2 + 1));
+  double factor = 1.0 - config_.latency_jitter +
+                  2.0 * config_.latency_jitter * u;
+  return static_cast<int64_t>(
+      static_cast<double>(config_.latency_mean_micros) * factor);
+}
+
+bool ApiService::ShouldInjectError() {
+  if (config_.transient_error_rate <= 0) return false;
+  uint64_t serial = request_serial_.load(std::memory_order_relaxed);
+  return UnitFromHash(Mix(serial * 2)) < config_.transient_error_rate;
+}
+
+bool ApiService::EndpointRequiresToken(const std::string&) const {
+  return config_.requires_token;
+}
+
+bool ApiService::PageRange(int64_t total, int64_t page, int64_t* begin,
+                           int64_t* end, int64_t* last_page) const {
+  const int64_t per_page = config_.page_size;
+  *last_page = total == 0 ? 1 : (total + per_page - 1) / per_page;
+  if (page < 1 || page > *last_page) return false;
+  *begin = (page - 1) * per_page;
+  *end = std::min<int64_t>(total, *begin + per_page);
+  return true;
+}
+
+ApiResponse ApiService::Handle(const ApiRequest& request,
+                               int64_t* worker_time_micros) {
+  stats_.total.fetch_add(1, std::memory_order_relaxed);
+
+  const bool needs_token = EndpointRequiresToken(request.endpoint);
+  if (needs_token &&
+      !tokens_.IsValid(request.access_token, *worker_time_micros)) {
+    stats_.unauthorized.fetch_add(1, std::memory_order_relaxed);
+    *worker_time_micros += SampleLatency();
+    return ApiResponse::Error(401, "invalid or expired access token");
+  }
+
+  if (limiter_ != nullptr && needs_token) {
+    auto decision = limiter_->Admit(request.access_token, *worker_time_micros);
+    if (!decision.admitted) {
+      stats_.rate_limited.fetch_add(1, std::memory_order_relaxed);
+      // Rejection is cheap (the API answers immediately with a 429).
+      json::Json body = json::Json::MakeObject();
+      body.Set("error", "rate limit exceeded");
+      body.Set("retry_at_micros", decision.retry_at_micros);
+      return ApiResponse{429, std::move(body)};
+    }
+  }
+
+  *worker_time_micros += SampleLatency();
+
+  for (const auto& [begin, end] : config_.outage_windows) {
+    if (*worker_time_micros >= begin && *worker_time_micros < end) {
+      stats_.outage_rejections.fetch_add(1, std::memory_order_relaxed);
+      return ApiResponse::Error(503, "service under maintenance");
+    }
+  }
+
+  if (ShouldInjectError()) {
+    stats_.transient_errors.fetch_add(1, std::memory_order_relaxed);
+    return ApiResponse::Error(503, "service temporarily unavailable");
+  }
+
+  ApiResponse resp = Dispatch(request, *worker_time_micros);
+  if (resp.status == 200) {
+    stats_.ok.fetch_add(1, std::memory_order_relaxed);
+  } else if (resp.status == 404) {
+    stats_.not_found.fetch_add(1, std::memory_order_relaxed);
+  }
+  return resp;
+}
+
+}  // namespace cfnet::net

@@ -1,0 +1,48 @@
+#ifndef CFNET_NET_SOCIAL_WEB_H_
+#define CFNET_NET_SOCIAL_WEB_H_
+
+#include <memory>
+
+#include "net/angellist.h"
+#include "net/crunchbase.h"
+#include "net/facebook.h"
+#include "net/twitter.h"
+#include "synth/world.h"
+#include "util/sim_clock.h"
+
+namespace cfnet::net {
+
+/// The whole simulated web: one instance of each service over a shared
+/// ground-truth world, plus the global virtual clock. This is what a
+/// Crawler is pointed at.
+class SocialWeb {
+ public:
+  explicit SocialWeb(const synth::World* world)
+      : world_(world),
+        angellist_(std::make_unique<AngelListService>(world)),
+        crunchbase_(std::make_unique<CrunchBaseService>(world)),
+        facebook_(std::make_unique<FacebookService>(world)),
+        twitter_(std::make_unique<TwitterService>(world)) {}
+
+  SocialWeb(const SocialWeb&) = delete;
+  SocialWeb& operator=(const SocialWeb&) = delete;
+
+  const synth::World& world() const { return *world_; }
+  AngelListService& angellist() { return *angellist_; }
+  CrunchBaseService& crunchbase() { return *crunchbase_; }
+  FacebookService& facebook() { return *facebook_; }
+  TwitterService& twitter() { return *twitter_; }
+  SimClock& clock() { return clock_; }
+
+ private:
+  const synth::World* world_;
+  SimClock clock_;
+  std::unique_ptr<AngelListService> angellist_;
+  std::unique_ptr<CrunchBaseService> crunchbase_;
+  std::unique_ptr<FacebookService> facebook_;
+  std::unique_ptr<TwitterService> twitter_;
+};
+
+}  // namespace cfnet::net
+
+#endif  // CFNET_NET_SOCIAL_WEB_H_

@@ -1,0 +1,60 @@
+#include "net/twitter.h"
+
+#include "net/urls.h"
+#include "util/string_util.h"
+
+namespace cfnet::net {
+
+TwitterService::TwitterService(const synth::World* world, ServiceConfig config)
+    : ApiService("twitter", world, config) {}
+
+bool TwitterService::EndpointRequiresToken(const std::string& endpoint) const {
+  if (endpoint == "apps.register") return false;
+  return config().requires_token;
+}
+
+ApiResponse TwitterService::Dispatch(const ApiRequest& request, int64_t) {
+  if (request.endpoint == "apps.register") {
+    auto token = tokens().RegisterApp(request.GetParam("owner", "anonymous"));
+    if (!token.ok()) {
+      return ApiResponse::Error(403, token.status().message());
+    }
+    json::Json body = json::Json::MakeObject();
+    body.Set("access_token", *token);
+    return ApiResponse::Ok(std::move(body));
+  }
+  if (request.endpoint == "users.show") return HandleUsersShow(request);
+  return ApiResponse::Error(400, "unknown endpoint: " + request.endpoint);
+}
+
+ApiResponse TwitterService::HandleUsersShow(const ApiRequest& request) {
+  const std::string screen_name = request.GetParam("screen_name");
+  synth::CompanyId id = CompanyIdFromTwitterScreenName(screen_name);
+  const synth::CompanyTruth* c = world().FindCompany(id);
+  if (c == nullptr || !c->has_twitter()) {
+    return ApiResponse::Error(404, "no such user: " + screen_name);
+  }
+  json::Json j = json::Json::MakeObject();
+  j.Set("screen_name", screen_name);
+  j.Set("name", c->name);
+  j.Set("created_at_micros",
+        static_cast<int64_t>((c->id * 131) % (5ull * 365 * 24 * 3600)) * 1000000);
+  if (c->twitter_followers_null) {
+    j.Set("followers_count", json::Json());  // null, as some profiles return
+  } else {
+    j.Set("followers_count", c->twitter_followers);
+  }
+  j.Set("friends_count", static_cast<int64_t>((c->id * 13) % 1500));
+  j.Set("listed_count", static_cast<int64_t>((c->id * 7) % 120));
+  j.Set("statuses_count", c->twitter_tweets);
+  if (c->twitter_tweets > 0) {
+    json::Json status = json::Json::MakeObject();
+    status.Set("text", StrFormat("Latest news from %s!", c->name.c_str()));
+    status.Set("created_at_micros",
+               static_cast<int64_t>((c->id * 59) % (90ull * 24 * 3600)) * 1000000);
+    j.Set("status", std::move(status));
+  }
+  return ApiResponse::Ok(std::move(j));
+}
+
+}  // namespace cfnet::net

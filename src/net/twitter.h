@@ -1,0 +1,39 @@
+#ifndef CFNET_NET_TWITTER_H_
+#define CFNET_NET_TWITTER_H_
+
+#include "net/service.h"
+
+namespace cfnet::net {
+
+/// Simulated Twitter REST API.
+///
+/// Endpoints:
+///  - "apps.register" {owner}        -> access token; each owner may hold at
+///                                      most 5 apps (the paper's constraint
+///                                      that forces multi-machine sharding).
+///  - "users.show"    {screen_name}  -> profile: created_at, followers_count
+///                                      (occasionally null), friends_count,
+///                                      listed_count, statuses_count and the
+///                                      latest status. Requires a token and
+///                                      is rate limited to 180 calls per
+///                                      15-minute window per token.
+class TwitterService : public ApiService {
+ public:
+  TwitterService(const synth::World* world, ServiceConfig config = {
+                     .latency_mean_micros = 70000,
+                     .requires_token = true,
+                     .rate_limit_calls = 180,
+                     .rate_limit_window_micros = 15ll * 60 * 1000000,
+                 });
+
+ protected:
+  ApiResponse Dispatch(const ApiRequest& request, int64_t now_micros) override;
+  bool EndpointRequiresToken(const std::string& endpoint) const override;
+
+ private:
+  ApiResponse HandleUsersShow(const ApiRequest& request);
+};
+
+}  // namespace cfnet::net
+
+#endif  // CFNET_NET_TWITTER_H_

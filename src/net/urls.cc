@@ -1,0 +1,68 @@
+#include "net/urls.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace cfnet::net {
+namespace {
+
+synth::CompanyId ParseIdAfterPrefix(std::string_view handle,
+                                    std::string_view prefix) {
+  if (!StartsWith(handle, prefix)) return 0;
+  handle.remove_prefix(prefix.size());
+  if (handle.empty()) return 0;
+  char* end = nullptr;
+  std::string tmp(handle);
+  unsigned long long v = std::strtoull(tmp.c_str(), &end, 10);
+  if (end != tmp.c_str() + tmp.size()) return 0;
+  return static_cast<synth::CompanyId>(v);
+}
+
+}  // namespace
+
+std::string AngelListCompanyUrl(synth::CompanyId id) {
+  return "https://angel.co/company/" + std::to_string(id);
+}
+
+std::string AngelListUserUrl(synth::UserId id) {
+  return "https://angel.co/u/" + std::to_string(id);
+}
+
+std::string TwitterScreenName(synth::CompanyId id) {
+  return "startup" + std::to_string(id);
+}
+
+std::string FacebookPageId(synth::CompanyId id) {
+  return "fbpage" + std::to_string(id);
+}
+
+std::string CrunchBasePermalink(synth::CompanyId id) {
+  return "company-" + std::to_string(id);
+}
+
+std::string TwitterUrl(synth::CompanyId id) {
+  return "https://twitter.com/" + TwitterScreenName(id);
+}
+
+std::string FacebookUrl(synth::CompanyId id) {
+  return "https://www.facebook.com/" + FacebookPageId(id);
+}
+
+std::string CrunchBaseUrl(synth::CompanyId id) {
+  return "https://www.crunchbase.com/organization/" + CrunchBasePermalink(id);
+}
+
+synth::CompanyId CompanyIdFromTwitterScreenName(std::string_view name) {
+  return ParseIdAfterPrefix(name, "startup");
+}
+
+synth::CompanyId CompanyIdFromFacebookPageId(std::string_view page_id) {
+  return ParseIdAfterPrefix(page_id, "fbpage");
+}
+
+synth::CompanyId CompanyIdFromCrunchBasePermalink(std::string_view permalink) {
+  return ParseIdAfterPrefix(permalink, "company-");
+}
+
+}  // namespace cfnet::net

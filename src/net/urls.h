@@ -1,0 +1,34 @@
+#ifndef CFNET_NET_URLS_H_
+#define CFNET_NET_URLS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "synth/entities.h"
+
+namespace cfnet::net {
+
+/// URL scheme of the simulated web. AngelList profiles link to the other
+/// services exactly the way the paper exploits: the crawler derives API
+/// handles from URL segments (e.g. the Twitter screen name is "the string
+/// after the last '/' symbol").
+std::string AngelListCompanyUrl(synth::CompanyId id);
+std::string AngelListUserUrl(synth::UserId id);
+std::string TwitterUrl(synth::CompanyId id);
+std::string FacebookUrl(synth::CompanyId id);
+std::string CrunchBaseUrl(synth::CompanyId id);
+
+/// Handles embedded in the URLs above.
+std::string TwitterScreenName(synth::CompanyId id);
+std::string FacebookPageId(synth::CompanyId id);
+std::string CrunchBasePermalink(synth::CompanyId id);
+
+/// Reverse mappings; return 0 on malformed handles.
+synth::CompanyId CompanyIdFromTwitterScreenName(std::string_view name);
+synth::CompanyId CompanyIdFromFacebookPageId(std::string_view page_id);
+synth::CompanyId CompanyIdFromCrunchBasePermalink(std::string_view permalink);
+
+}  // namespace cfnet::net
+
+#endif  // CFNET_NET_URLS_H_

@@ -1,0 +1,132 @@
+#include "stats/inference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace cfnet::stats {
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0;
+  double mx = 0;
+  double my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0;
+  double sxx = 0;
+  double syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+/// Midranks of a sample (ties share the average rank).
+std::vector<double> Midranks(const std::vector<double>& x) {
+  const size_t n = x.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return x[a] < x[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && x[order[j]] == x[order[i]]) ++j;
+    double midrank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2;
+    for (size_t k = i; k < j; ++k) ranks[order[k]] = midrank;
+    i = j;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0;
+  std::vector<double> xs(x.begin(), x.begin() + static_cast<long>(n));
+  std::vector<double> ys(y.begin(), y.begin() + static_cast<long>(n));
+  return PearsonCorrelation(Midranks(xs), Midranks(ys));
+}
+
+double ChiSquarePValueDf1(double statistic) {
+  if (statistic <= 0) return 1.0;
+  // For df=1, chi2 upper tail = erfc(sqrt(x/2)).
+  return std::erfc(std::sqrt(statistic / 2.0));
+}
+
+ChiSquareResult ChiSquare2x2(int64_t a, int64_t b, int64_t c, int64_t d) {
+  ChiSquareResult result;
+  const double n = static_cast<double>(a + b + c + d);
+  if (n <= 0) return result;
+  const double row1 = static_cast<double>(a + b);
+  const double row2 = static_cast<double>(c + d);
+  const double col1 = static_cast<double>(a + c);
+  const double col2 = static_cast<double>(b + d);
+  if (row1 <= 0 || row2 <= 0 || col1 <= 0 || col2 <= 0) return result;
+  // Yates-corrected statistic.
+  double det = std::fabs(static_cast<double>(a) * static_cast<double>(d) -
+                         static_cast<double>(b) * static_cast<double>(c));
+  double corrected = std::max(0.0, det - n / 2.0);
+  result.statistic = n * corrected * corrected / (row1 * row2 * col1 * col2);
+  result.p_value = ChiSquarePValueDf1(result.statistic);
+  result.odds_ratio =
+      ((static_cast<double>(a) + 0.5) * (static_cast<double>(d) + 0.5)) /
+      ((static_cast<double>(b) + 0.5) * (static_cast<double>(c) + 0.5));
+  return result;
+}
+
+BootstrapInterval BootstrapMeanCi(const std::vector<double>& samples,
+                                  double confidence, int resamples,
+                                  uint64_t seed) {
+  BootstrapInterval out;
+  if (samples.empty()) return out;
+  double sum = 0;
+  for (double s : samples) sum += s;
+  out.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() == 1 || resamples <= 0) {
+    out.lo = out.hi = out.mean;
+    return out;
+  }
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(static_cast<size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double s = 0;
+    for (size_t i = 0; i < samples.size(); ++i) {
+      s += samples[rng.NextUint64(samples.size())];
+    }
+    means.push_back(s / static_cast<double>(samples.size()));
+  }
+  std::sort(means.begin(), means.end());
+  double alpha = (1.0 - confidence) / 2.0;
+  auto quantile = [&](double q) {
+    double pos = q * static_cast<double>(means.size() - 1);
+    size_t lo_idx = static_cast<size_t>(pos);
+    size_t hi_idx = std::min(lo_idx + 1, means.size() - 1);
+    double frac = pos - static_cast<double>(lo_idx);
+    return means[lo_idx] * (1 - frac) + means[hi_idx] * frac;
+  };
+  out.lo = quantile(alpha);
+  out.hi = quantile(1.0 - alpha);
+  return out;
+}
+
+}  // namespace cfnet::stats

@@ -1,0 +1,47 @@
+#ifndef CFNET_STATS_INFERENCE_H_
+#define CFNET_STATS_INFERENCE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cfnet::stats {
+
+/// Inferential statistics used to back the §4 observations quantitatively
+/// (the paper reports raw rates; we attach effect sizes and significance).
+
+/// Pearson linear correlation of paired samples (0 if degenerate).
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson on midranks; robust to the heavy
+/// tails of engagement counts).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// 2x2 chi-square test of independence with Yates continuity correction.
+/// counts = {{a, b}, {c, d}} (rows: group, cols: outcome).
+struct ChiSquareResult {
+  double statistic = 0;
+  double p_value = 1;  // df = 1
+  /// Odds ratio (a*d)/(b*c), +inf-safe via +0.5 Haldane correction.
+  double odds_ratio = 1;
+};
+ChiSquareResult ChiSquare2x2(int64_t a, int64_t b, int64_t c, int64_t d);
+
+/// Chi-square(df=1) upper tail probability.
+double ChiSquarePValueDf1(double statistic);
+
+/// Percentile bootstrap confidence interval for the mean of `samples`.
+struct BootstrapInterval {
+  double mean = 0;
+  double lo = 0;
+  double hi = 0;
+};
+BootstrapInterval BootstrapMeanCi(const std::vector<double>& samples,
+                                  double confidence = 0.95,
+                                  int resamples = 1000, uint64_t seed = 1);
+
+}  // namespace cfnet::stats
+
+#endif  // CFNET_STATS_INFERENCE_H_

@@ -1,0 +1,109 @@
+#ifndef CFNET_SYNTH_ENTITIES_H_
+#define CFNET_SYNTH_ENTITIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfnet::synth {
+
+using CompanyId = uint64_t;
+using UserId = uint64_t;
+
+/// Social-media presence cell, matching the categories of the paper's
+/// Figure 6 table. The four cells are mutually exclusive.
+enum class SocialCell : uint8_t {
+  kNone = 0,
+  kFacebookOnly = 1,
+  kTwitterOnly = 2,
+  kBoth = 3,
+};
+
+/// Ground-truth company record in the synthetic crowdfunding world.
+/// The simulated AngelList/CrunchBase/Facebook/Twitter services render
+/// (partial, per-service) JSON views of these records; the crawler only
+/// ever sees those views.
+struct CompanyTruth {
+  CompanyId id = 0;
+  std::string name;
+
+  bool currently_raising = false;  // appears in AngelList "raising" listing
+  SocialCell social = SocialCell::kNone;
+  bool has_demo_video = false;
+
+  bool raised_funding = false;   // success outcome; implies CrunchBase entry
+  bool has_crunchbase = false;   // CrunchBase profile exists
+  bool crunchbase_url_listed = false;  // AngelList profile links to it
+
+  /// Engagement (0 when the corresponding account does not exist).
+  int64_t facebook_likes = 0;
+  int64_t twitter_tweets = 0;
+  int64_t twitter_followers = 0;
+  bool twitter_followers_null = false;  // API returns null follower count
+
+  /// Funding ground truth (only meaningful when raised_funding).
+  double raised_amount_usd = 0;
+  int funding_rounds = 0;
+
+  std::vector<UserId> founders;
+
+  bool has_facebook() const {
+    return social == SocialCell::kFacebookOnly || social == SocialCell::kBoth;
+  }
+  bool has_twitter() const {
+    return social == SocialCell::kTwitterOnly || social == SocialCell::kBoth;
+  }
+};
+
+/// Role a user self-identifies as on the simulated AngelList.
+enum class UserRole : uint8_t {
+  kInvestor = 0,
+  kFounder = 1,
+  kEmployee = 2,
+  kOther = 3,
+};
+
+/// Ground-truth user record.
+struct UserTruth {
+  UserId id = 0;
+  std::string name;
+  UserRole role = UserRole::kOther;
+
+  std::vector<CompanyId> follows_companies;
+  std::vector<UserId> follows_users;
+
+  /// Companies this user invested in (investors only; deduplicated).
+  std::vector<CompanyId> investments;
+
+  /// Parallel to `investments`: whether the edge is visible on the user's
+  /// AngelList profile. Edges hidden from AngelList are always recorded in
+  /// some CrunchBase funding round, so the AngelList+CrunchBase merge the
+  /// paper performs (§5.1) recovers exactly the ground-truth edge set.
+  std::vector<uint8_t> investment_on_angellist;
+
+  /// Planted community memberships (indices into World::communities).
+  std::vector<int> communities;
+};
+
+/// A planted overlapping investor community with its co-investment pool.
+struct CommunityTruth {
+  int id = 0;
+  /// Herding intensity in (0, 1]: fraction of a member's investments drawn
+  /// from the shared portfolio.
+  double herd = 0.5;
+  std::vector<UserId> members;
+  std::vector<CompanyId> portfolio;
+};
+
+/// One CrunchBase funding round of a funded company.
+struct FundingRound {
+  CompanyId company = 0;
+  int round_index = 0;
+  double amount_usd = 0;
+  int64_t announced_on_micros = 0;
+  std::vector<UserId> investors;  // subset recorded by CrunchBase
+};
+
+}  // namespace cfnet::synth
+
+#endif  // CFNET_SYNTH_ENTITIES_H_

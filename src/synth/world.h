@@ -1,0 +1,119 @@
+#ifndef CFNET_SYNTH_WORLD_H_
+#define CFNET_SYNTH_WORLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/entities.h"
+#include "synth/world_config.h"
+#include "util/rng.h"
+
+namespace cfnet::synth {
+
+/// Summary statistics of the generated ground truth (used by tests and the
+/// crawl bench to compare against the paper's dataset section).
+struct WorldStats {
+  int64_t num_companies = 0;
+  int64_t num_users = 0;
+  int64_t num_investors = 0;
+  int64_t num_founders = 0;
+  int64_t num_employees = 0;
+  int64_t companies_with_facebook = 0;
+  int64_t companies_with_twitter = 0;
+  int64_t companies_with_both = 0;
+  int64_t companies_with_video = 0;
+  int64_t companies_funded = 0;
+  int64_t companies_with_crunchbase = 0;
+  int64_t investment_edges = 0;
+  int64_t companies_with_investors = 0;
+  int64_t investing_investors = 0;
+  double mean_investor_follows = 0;
+};
+
+/// The synthetic crowdfunding universe: the ground truth the simulated web
+/// services render and the crawler rediscovers.
+///
+/// Company ids are 1..companies.size(); user ids are 1..users.size()
+/// (0 is reserved/invalid). `companies[id-1]` / `users[id-1]` index records.
+class World {
+ public:
+  /// Generates a world calibrated to `config` (see WorldConfig for the
+  /// paper statistics each knob reproduces). Deterministic per seed.
+  static World Generate(const WorldConfig& config);
+
+  World(World&&) noexcept = default;
+  World& operator=(World&&) noexcept = default;
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  const WorldConfig& config() const { return config_; }
+
+  const std::vector<CompanyTruth>& companies() const { return companies_; }
+  const std::vector<UserTruth>& users() const { return users_; }
+  const std::vector<CommunityTruth>& communities() const { return communities_; }
+  const std::vector<FundingRound>& rounds() const { return rounds_; }
+
+  const CompanyTruth* FindCompany(CompanyId id) const {
+    if (id == 0 || id > companies_.size()) return nullptr;
+    return &companies_[id - 1];
+  }
+  const UserTruth* FindUser(UserId id) const {
+    if (id == 0 || id > users_.size()) return nullptr;
+    return &users_[id - 1];
+  }
+
+  /// Users following a company (inverted from UserTruth::follows_companies).
+  const std::vector<UserId>& FollowersOf(CompanyId id) const {
+    return company_followers_[id - 1];
+  }
+
+  /// Investors of a company (inverted from UserTruth::investments).
+  const std::vector<UserId>& InvestorsOf(CompanyId id) const {
+    return company_investors_[id - 1];
+  }
+
+  /// Funding rounds of a company (indices into rounds()).
+  const std::vector<size_t>& RoundsOf(CompanyId id) const {
+    return company_rounds_[id - 1];
+  }
+
+  WorldStats ComputeStats() const;
+
+  /// Outcome of one day of simulated ecosystem dynamics (see EvolveOneDay).
+  struct DayReport {
+    int64_t campaigns_closed = 0;
+    int64_t campaigns_succeeded = 0;
+    int64_t campaigns_launched = 0;
+    int64_t new_investments = 0;
+  };
+
+  /// Advances the world by one simulated day — the §7 longitudinal-study
+  /// dynamics the paper plans to capture:
+  ///  - some currently-raising campaigns close (success odds depend on the
+  ///    company's social presence, as in the static calibration);
+  ///  - successful closes gain CrunchBase funding rounds and investors,
+  ///    with community members herding into the same deals;
+  ///  - new campaigns launch;
+  ///  - social engagement drifts upward, faster for fundraising companies
+  ///    (the correlation-vs-causality confound §4 warns about).
+  /// Derived indices (followers/investors/rounds) stay consistent.
+  /// Note: services cache parts of the world at construction, so rebuild
+  /// the SocialWeb after mutating (as a fresh daily crawl would).
+  DayReport EvolveOneDay(Rng& rng);
+
+ private:
+  World() = default;
+
+  WorldConfig config_;
+  std::vector<CompanyTruth> companies_;
+  std::vector<UserTruth> users_;
+  std::vector<CommunityTruth> communities_;
+  std::vector<FundingRound> rounds_;
+  std::vector<std::vector<UserId>> company_followers_;
+  std::vector<std::vector<UserId>> company_investors_;
+  std::vector<std::vector<size_t>> company_rounds_;
+};
+
+}  // namespace cfnet::synth
+
+#endif  // CFNET_SYNTH_WORLD_H_

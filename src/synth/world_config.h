@@ -1,0 +1,123 @@
+#ifndef CFNET_SYNTH_WORLD_CONFIG_H_
+#define CFNET_SYNTH_WORLD_CONFIG_H_
+
+#include <cstdint>
+
+namespace cfnet::synth {
+
+/// Calibration constants for the synthetic crowdfunding world.
+///
+/// Every default reproduces a statistic reported in the paper (noted per
+/// field). `scale` shrinks the world linearly; all calibration targets are
+/// fractions, so they are scale-invariant. scale=1.0 is the paper's full
+/// crawl (744,036 companies / 1,109,441 users).
+struct WorldConfig {
+  double scale = 0.1;
+  uint64_t seed = 20160626;  // ExploreDB'16 day one
+
+  /// --- population (paper §3) --------------------------------------------
+  int64_t full_companies = 744036;
+  int64_t full_users = 1109441;
+  double frac_currently_raising = 4000.0 / 744036;  // AngelList raising list
+
+  double frac_investor = 0.043;   // 47,345 users
+  double frac_founder = 0.183;    // 203,023 users
+  double frac_employee = 0.442;   // 489,836 users
+
+  /// --- social presence cells (Figure 6) -----------------------------------
+  double frac_facebook = 0.0507;       // 37,761 companies
+  double frac_twitter = 0.0948;        // 70,563 companies
+  double frac_both = 0.0437;           // 32,544 companies
+  double frac_demo_video = 0.0488;     // 36,364 companies
+
+  /// --- engagement distributions (Figure 6 medians) -------------------------
+  /// Log-normal medians match the paper's split points; sigma controls the
+  /// spread (long tail of very active accounts); zero_inflation models dead
+  /// accounts so that the strictly-greater-than-median fraction lands near
+  /// the paper's 41-46% rather than 50%.
+  double fb_likes_median = 652;
+  double fb_likes_sigma = 1.6;
+  double fb_zero_inflation = 0.14;
+  double tw_tweets_median = 343;
+  double tw_tweets_sigma = 1.5;
+  double tw_followers_median = 339;
+  double tw_followers_sigma = 1.7;
+  double tw_zero_inflation = 0.06;
+  double tw_followers_null_rate = 0.002;  // accounts with null follower count
+
+  /// --- funding success (Figure 6, col 3) ----------------------------------
+  /// Cell-conditional success targets. FB-only / TW-only rates are solved
+  /// from the paper's marginal rates: P(success|FB)=0.122, P(success|TW)=
+  /// 0.102, P(success|both)=0.132, with cell sizes above.
+  double success_no_social = 0.004;
+  double success_fb_marginal = 0.122;
+  double success_tw_marginal = 0.102;
+  double success_both = 0.132;
+  /// Engagement odds multipliers applied on top of the (deflated) cell base;
+  /// chosen so the above-median rows land near 18% / 14.7% / 15.2% and the
+  /// combined rows near 22%.
+  double boost_fb_likes_above_median = 1.95;
+  double boost_tw_tweets_above_median = 1.80;
+  double boost_tw_followers_above_median = 1.90;
+  double boost_demo_video = 1.60;
+  /// P(video | has any social) — solved so the overall video rate is 4.88%
+  /// and video carries the ~10.4% success the table reports.
+  double video_given_social = 0.35;
+
+  /// --- investor graph (§5.1) ----------------------------------------------
+  /// 158,199 edges over 46,966 investing investors and 59,953 companies.
+  double frac_companies_investable = 59953.0 / 744036;
+  double frac_investors_active = 46966.0 / 47345;  // investors with >=1 deal
+  /// Out-degree mixture: P(1), P(2), power-law tail on [3, max] with
+  /// exponent alpha; calibrated to mean 3.3 / median 1 and the paper's
+  /// concentration rows (>=3 -> 75% of edges, >=4 -> 68.3%, >=5 -> 62.0%).
+  double outdeg_p1 = 0.52;
+  double outdeg_p2 = 0.18;
+  double outdeg_alpha = 2.45;
+  int64_t outdeg_max = 1000;  // "most active investor makes close to 1000"
+
+  /// Mean companies followed per investor (paper: 247).
+  double investor_follows_mean = 247;
+  double other_user_follows_mean = 14;
+  double user_user_follows_mean = 6;
+
+  /// --- planted communities (§5.2-5.3) --------------------------------------
+  int num_communities = 96;           // CoDA found 96
+  double community_avg_size = 190.2;  // scaled by `scale`
+  /// Range of herding intensity across communities; strong communities draw
+  /// nearly all investments from a tight shared portfolio.
+  double herd_min = 0.15;
+  double herd_max = 0.95;
+  /// Target mean pairwise shared-investment size of the strongest planted
+  /// community (paper: 2.1) — drives portfolio sizing.
+  double strongest_shared_target = 2.1;
+
+  /// --- data-source visibility -----------------------------------------------
+  /// "AngelList data is incomplete" (§3): an investment edge into a funded
+  /// company shows on the investor's AngelList profile with this
+  /// probability (edges into unfunded companies are always visible, since
+  /// no CrunchBase round could recover them); edges missed by AngelList
+  /// are guaranteed to appear in a CrunchBase round, so the two-source
+  /// merge recovers the full edge set — and is genuinely necessary.
+  double al_visibility_of_investments = 0.6;
+  double cb_coverage_of_investments = 0.7;  // rounds also record this share
+  double cb_url_listed_rate = 0.8;          // AngelList links to CrunchBase
+  /// Fraction of companies given intentionally ambiguous (duplicated) names,
+  /// so CrunchBase name-search returns multiple hits and the augmenter must
+  /// skip them, as the paper describes.
+  double ambiguous_name_rate = 0.01;
+
+  /// Derived absolute counts at the configured scale.
+  int64_t NumCompanies() const {
+    return static_cast<int64_t>(full_companies * scale);
+  }
+  int64_t NumUsers() const { return static_cast<int64_t>(full_users * scale); }
+  int64_t CommunitySize() const {
+    double s = community_avg_size * scale;
+    return s < 6 ? 6 : static_cast<int64_t>(s);
+  }
+};
+
+}  // namespace cfnet::synth
+
+#endif  // CFNET_SYNTH_WORLD_CONFIG_H_

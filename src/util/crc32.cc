@@ -1,0 +1,34 @@
+#include "util/crc32.h"
+
+namespace cfnet {
+namespace {
+
+const uint32_t* Crc32Table() {
+  static uint32_t* table = []() {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::string_view data) {
+  const uint32_t* table = Crc32Table();
+  crc = ~crc;
+  for (unsigned char ch : data) {
+    crc = table[(crc ^ ch) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+}  // namespace cfnet

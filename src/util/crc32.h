@@ -1,0 +1,17 @@
+#ifndef CFNET_UTIL_CRC32_H_
+#define CFNET_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cfnet {
+
+/// CRC-32 (IEEE 802.3 polynomial, the HDFS default block checksum).
+uint32_t Crc32(std::string_view data);
+
+/// Incremental form: feed chunks with the previous return value.
+uint32_t Crc32Update(uint32_t crc, std::string_view data);
+
+}  // namespace cfnet
+
+#endif  // CFNET_UTIL_CRC32_H_

@@ -1,0 +1,79 @@
+#ifndef CFNET_UTIL_RESULT_H_
+#define CFNET_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace cfnet {
+
+/// Either a value of type T or a non-OK Status, in the style of
+/// absl::StatusOr / arrow::Result.
+///
+/// Accessing `value()` on an error Result aborts (assert in debug builds,
+/// documented UB otherwise); callers must check `ok()` first or use
+/// `value_or` / CFNET_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common return path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (the error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value into `lhs` (which may be a declaration).
+#define CFNET_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  CFNET_ASSIGN_OR_RETURN_IMPL_(                                 \
+      CFNET_RESULT_CONCAT_(_cfnet_result, __LINE__), lhs, rexpr)
+
+#define CFNET_RESULT_CONCAT_INNER_(x, y) x##y
+#define CFNET_RESULT_CONCAT_(x, y) CFNET_RESULT_CONCAT_INNER_(x, y)
+#define CFNET_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace cfnet
+
+#endif  // CFNET_UTIL_RESULT_H_

@@ -1,0 +1,51 @@
+#ifndef CFNET_UTIL_SIM_CLOCK_H_
+#define CFNET_UTIL_SIM_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace cfnet {
+
+/// Discrete-event virtual clock, in microseconds.
+///
+/// The simulated web (`src/net`) and the crawler account for API latency and
+/// rate-limit waits in virtual time instead of sleeping, so large crawls
+/// "take" hours of simulated time while running in milliseconds of wall time.
+/// The clock is monotone: concurrent advances race forward but never back.
+class SimClock {
+ public:
+  SimClock() : now_micros_(0) {}
+
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  /// Current virtual time in microseconds since simulation start.
+  int64_t NowMicros() const { return now_micros_.load(std::memory_order_relaxed); }
+
+  /// Advances the clock by `delta_micros` (>= 0) and returns the new time.
+  int64_t Advance(int64_t delta_micros) {
+    return now_micros_.fetch_add(delta_micros, std::memory_order_relaxed) +
+           delta_micros;
+  }
+
+  /// Moves the clock forward to at least `t_micros` (no-op if already past).
+  void AdvanceTo(int64_t t_micros) {
+    int64_t cur = now_micros_.load(std::memory_order_relaxed);
+    while (cur < t_micros && !now_micros_.compare_exchange_weak(
+                                 cur, t_micros, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Resets to time zero (single-threaded use only, e.g. between benches).
+  void Reset() { now_micros_.store(0, std::memory_order_relaxed); }
+
+  static constexpr int64_t kMicrosPerSecond = 1000000;
+  static constexpr int64_t kMicrosPerMinute = 60 * kMicrosPerSecond;
+
+ private:
+  std::atomic<int64_t> now_micros_;
+};
+
+}  // namespace cfnet
+
+#endif  // CFNET_UTIL_SIM_CLOCK_H_

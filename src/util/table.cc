@@ -1,0 +1,40 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace cfnet {
+
+std::string AsciiTable::Render() const {
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<size_t> widths(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  auto render_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += "|";
+    for (size_t i = 0; i < ncols; ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      out += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+
+  std::string rule = "+";
+  for (size_t i = 0; i < ncols; ++i) rule += std::string(widths[i] + 2, '-') + "+";
+  rule += "\n";
+
+  std::string out = rule;
+  render_row(header_, out);
+  out += rule;
+  for (const auto& r : rows_) render_row(r, out);
+  out += rule;
+  return out;
+}
+
+}  // namespace cfnet

@@ -1,0 +1,29 @@
+#ifndef CFNET_UTIL_TABLE_H_
+#define CFNET_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cfnet {
+
+/// Minimal ASCII table renderer used by the benchmark harness to print the
+/// paper's tables/series next to our measured values.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with column auto-sizing, `|` separators and a header rule.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cfnet
+
+#endif  // CFNET_UTIL_TABLE_H_

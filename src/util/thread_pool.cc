@@ -1,0 +1,66 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace cfnet {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+}
+
+size_t ThreadPool::DefaultParallelism() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this]() { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace cfnet

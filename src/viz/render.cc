@@ -1,0 +1,72 @@
+#include "viz/render.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace cfnet::viz {
+
+std::string RenderSvg(const std::vector<NodeSpec>& nodes,
+                      const std::vector<Point2D>& positions,
+                      const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+                      double width, double height, const std::string& title) {
+  std::string svg = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+      "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+      width, height, width, height);
+  svg += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!title.empty()) {
+    svg += StrFormat(
+        "<text x=\"%.0f\" y=\"24\" font-family=\"sans-serif\" "
+        "font-size=\"18\" text-anchor=\"middle\">%s</text>\n",
+        width / 2, title.c_str());
+  }
+  for (const auto& [a, b] : edges) {
+    if (a >= positions.size() || b >= positions.size()) continue;
+    svg += StrFormat(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+        "stroke=\"#999999\" stroke-width=\"0.6\" stroke-opacity=\"0.6\"/>\n",
+        positions[a].x, positions[a].y, positions[b].x, positions[b].y);
+  }
+  for (size_t i = 0; i < nodes.size() && i < positions.size(); ++i) {
+    svg += StrFormat(
+        "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\" "
+        "stroke=\"#333333\" stroke-width=\"0.4\">",
+        positions[i].x, positions[i].y, nodes[i].radius,
+        nodes[i].color.c_str());
+    svg += "<title>" + nodes[i].label + "</title></circle>\n";
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string RenderDot(const std::vector<NodeSpec>& nodes,
+                      const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+                      const std::string& graph_name) {
+  std::string dot = "graph " + graph_name + " {\n";
+  dot += "  node [style=filled, shape=circle, fontsize=8];\n";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    dot += StrFormat("  n%zu [label=\"%s\", fillcolor=\"%s\"];\n", i,
+                     nodes[i].label.c_str(), nodes[i].color.c_str());
+  }
+  for (const auto& [a, b] : edges) {
+    dot += StrFormat("  n%u -- n%u;\n", a, b);
+  }
+  dot += "}\n";
+  return dot;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace cfnet::viz

@@ -1,0 +1,39 @@
+#ifndef CFNET_VIZ_RENDER_H_
+#define CFNET_VIZ_RENDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "viz/layout.h"
+
+namespace cfnet::viz {
+
+/// A node to draw: position is supplied separately (parallel vector).
+struct NodeSpec {
+  std::string label;
+  std::string color = "#4477cc";  // investor blue by default
+  double radius = 5;
+};
+
+/// Renders an SVG document of a node-link diagram. `positions` must be
+/// parallel to `nodes`; edges index into them.
+std::string RenderSvg(const std::vector<NodeSpec>& nodes,
+                      const std::vector<Point2D>& positions,
+                      const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+                      double width = 1000, double height = 1000,
+                      const std::string& title = "");
+
+/// Renders GraphViz DOT (undirected) with fill colors, for tooling interop.
+std::string RenderDot(const std::vector<NodeSpec>& nodes,
+                      const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+                      const std::string& graph_name = "g");
+
+/// Writes `content` to a local file (used by examples/benches to emit the
+/// Figure 7 artifacts).
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace cfnet::viz
+
+#endif  // CFNET_VIZ_RENDER_H_

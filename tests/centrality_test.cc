@@ -1,0 +1,159 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace cfnet::graph {
+namespace {
+
+/// Path graph 0-1-2-3-4.
+WeightedGraph Path5() {
+  return WeightedGraph::FromEdges(
+      5, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}});
+}
+
+/// Star: center 0, leaves 1..4.
+WeightedGraph Star5() {
+  return WeightedGraph::FromEdges(
+      5, {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}, {0, 4, 1.0}});
+}
+
+TEST(ConnectedComponentsTest, CountsAndLabels) {
+  WeightedGraph g = WeightedGraph::FromEdges(
+      6, {{0, 1, 1.0}, {1, 2, 1.0}, {3, 4, 1.0}});  // node 5 isolated
+  size_t num = 0;
+  std::vector<int> comp = ConnectedComponents(g, &num);
+  EXPECT_EQ(num, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+  EXPECT_EQ(LargestComponentSize(g), 3u);
+}
+
+TEST(DegreeCentralityTest, StarCenterDominates) {
+  std::vector<double> c = DegreeCentrality(Star5());
+  EXPECT_DOUBLE_EQ(c[0], 1.0);       // 4/(5-1)
+  EXPECT_DOUBLE_EQ(c[1], 0.25);
+}
+
+TEST(HarmonicCentralityTest, PathCenterHighest) {
+  std::vector<double> c = HarmonicCentrality(Path5());
+  // Node 2: distances 2,1,1,2 -> (1/2+1+1+1/2)/4 = 0.75.
+  EXPECT_NEAR(c[2], 0.75, 1e-12);
+  // Node 0: distances 1,2,3,4 -> (1+1/2+1/3+1/4)/4.
+  EXPECT_NEAR(c[0], (1 + 0.5 + 1.0 / 3 + 0.25) / 4, 1e-12);
+  EXPECT_GT(c[2], c[1]);
+  EXPECT_GT(c[1], c[0]);
+}
+
+TEST(HarmonicCentralityTest, SampledApproximatesExact) {
+  // Two joined stars: a mid-sized graph where sampling makes sense.
+  std::vector<std::tuple<uint32_t, uint32_t, double>> edges;
+  for (uint32_t i = 1; i <= 30; ++i) edges.emplace_back(0, i, 1.0);
+  for (uint32_t i = 32; i <= 61; ++i) edges.emplace_back(31, i, 1.0);
+  edges.emplace_back(0, 31, 1.0);
+  WeightedGraph g = WeightedGraph::FromEdges(62, edges);
+  auto exact = HarmonicCentrality(g);
+  auto sampled = HarmonicCentrality(g, 30, 7);
+  // Hubs stay on top under sampling.
+  EXPECT_GT(sampled[0], sampled[5]);
+  EXPECT_GT(sampled[31], sampled[40]);
+  // Estimates land near the exact values.
+  EXPECT_NEAR(sampled[0], exact[0], exact[0] * 0.35);
+}
+
+TEST(BetweennessCentralityTest, PathMiddleDominates) {
+  std::vector<double> c = BetweennessCentrality(Path5());
+  // Node 2 lies on all 4 pairs crossing it: (0,3),(0,4),(1,3),(1,4)
+  // and (0,3)... exact count: pairs through 2 = {0,1}x{3,4} = 4 of 6 pairs.
+  EXPECT_NEAR(c[2], 4.0 / 6, 1e-12);
+  EXPECT_NEAR(c[1], 3.0 / 6, 1e-12);  // pairs {0}x{2,3,4}
+  EXPECT_NEAR(c[0], 0.0, 1e-12);
+  EXPECT_NEAR(c[4], 0.0, 1e-12);
+}
+
+TEST(BetweennessCentralityTest, StarCenterTakesAll) {
+  std::vector<double> c = BetweennessCentrality(Star5());
+  EXPECT_NEAR(c[0], 1.0, 1e-12);  // all 6 leaf pairs route through center
+  for (int v = 1; v < 5; ++v) EXPECT_NEAR(c[v], 0.0, 1e-12);
+}
+
+TEST(BetweennessCentralityTest, TieSplitting) {
+  // Square 0-1-2-3-0: two shortest paths between opposite corners.
+  WeightedGraph g = WeightedGraph::FromEdges(
+      4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 0, 1.0}});
+  std::vector<double> c = BetweennessCentrality(g);
+  // Each node carries half of one opposite-pair path: 0.5/3 pairs... by
+  // symmetry all four must be equal.
+  for (int v = 1; v < 4; ++v) EXPECT_NEAR(c[v], c[0], 1e-12);
+  EXPECT_GT(c[0], 0);
+}
+
+TEST(CoreNumbersTest, CliquePlusTail) {
+  // Triangle 0-1-2 (core 2) with a tail 2-3-4 (core 1) and isolated 5.
+  WeightedGraph g = WeightedGraph::FromEdges(
+      6,
+      {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}});
+  std::vector<int> core = CoreNumbers(g);
+  EXPECT_EQ(core[0], 2);
+  EXPECT_EQ(core[1], 2);
+  EXPECT_EQ(core[2], 2);
+  EXPECT_EQ(core[3], 1);
+  EXPECT_EQ(core[4], 1);
+  EXPECT_EQ(core[5], 0);
+}
+
+TEST(CoreNumbersTest, CompleteGraph) {
+  std::vector<std::tuple<uint32_t, uint32_t, double>> edges;
+  for (uint32_t i = 0; i < 6; ++i) {
+    for (uint32_t j = i + 1; j < 6; ++j) edges.emplace_back(i, j, 1.0);
+  }
+  std::vector<int> core = CoreNumbers(WeightedGraph::FromEdges(6, edges));
+  for (int c : core) EXPECT_EQ(c, 5);
+}
+
+TEST(PageRankTest, SumsToOneAndRanksHubs) {
+  WeightedGraph g = Star5();
+  std::vector<double> pr = PageRank(g);
+  double sum = 0;
+  for (double x : pr) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(pr[0], pr[1] * 2);  // hub clearly dominates
+  for (int v = 2; v < 5; ++v) EXPECT_NEAR(pr[v], pr[1], 1e-9);
+}
+
+TEST(PageRankTest, DanglingMassRedistributed) {
+  // One edge 0-1 plus isolated nodes 2,3 (dangling in the weighted sense).
+  WeightedGraph g = WeightedGraph::FromEdges(4, {{0, 1, 1.0}});
+  std::vector<double> pr = PageRank(g);
+  double sum = 0;
+  for (double x : pr) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(pr[0], pr[2]);
+  EXPECT_NEAR(pr[2], pr[3], 1e-9);
+  EXPECT_GT(pr[2], 0.0);
+}
+
+TEST(CentralityTest, EmptyAndTinyGraphs) {
+  WeightedGraph empty;
+  EXPECT_TRUE(DegreeCentrality(empty).empty());
+  EXPECT_TRUE(HarmonicCentrality(empty).empty());
+  EXPECT_TRUE(BetweennessCentrality(empty).empty());
+  EXPECT_TRUE(CoreNumbers(empty).empty());
+  size_t n = 0;
+  EXPECT_TRUE(ConnectedComponents(empty, &n).empty());
+  EXPECT_EQ(n, 0u);
+
+  WeightedGraph one = WeightedGraph::FromEdges(1, {});
+  EXPECT_EQ(DegreeCentrality(one).size(), 1u);
+  EXPECT_EQ(BetweennessCentrality(one).size(), 1u);
+}
+
+}  // namespace
+}  // namespace cfnet::graph

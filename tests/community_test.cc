@@ -1,0 +1,276 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "community/coda.h"
+#include "community/label_propagation.h"
+#include "community/louvain.h"
+#include "community/random_baseline.h"
+#include "community/sbm.h"
+#include "graph/bipartite_graph.h"
+#include "graph/weighted_graph.h"
+#include "util/rng.h"
+
+namespace cfnet::community {
+namespace {
+
+/// Planted bipartite world: `blocks` disjoint groups of investors, each
+/// investing densely inside its own pool of companies, plus light noise.
+graph::BipartiteGraph PlantedBipartite(int blocks, int investors_per_block,
+                                       int companies_per_block,
+                                       double in_density, double noise,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  const uint64_t total_companies =
+      static_cast<uint64_t>(blocks * companies_per_block);
+  for (int b = 0; b < blocks; ++b) {
+    for (int i = 0; i < investors_per_block; ++i) {
+      uint64_t inv = static_cast<uint64_t>(b * investors_per_block + i + 1);
+      for (int c = 0; c < companies_per_block; ++c) {
+        uint64_t comp =
+            1000 + static_cast<uint64_t>(b * companies_per_block + c);
+        if (rng.Bernoulli(in_density)) edges.emplace_back(inv, comp);
+      }
+      // Noise edges to arbitrary companies.
+      for (uint64_t n = 0; n < 2; ++n) {
+        if (rng.Bernoulli(noise)) {
+          edges.emplace_back(inv, 1000 + rng.NextUint64(total_companies));
+        }
+      }
+    }
+  }
+  return graph::BipartiteGraph::FromEdges(edges);
+}
+
+/// Fraction of planted co-members that the detected assignment also puts
+/// together (pairwise recall over sampled pairs).
+double PairwiseRecall(const CommunitySet& detected, int blocks,
+                      int investors_per_block,
+                      const graph::BipartiteGraph& g) {
+  // Build node -> set of detected communities.
+  std::vector<std::set<size_t>> member_of(g.num_left());
+  for (size_t ci = 0; ci < detected.communities.size(); ++ci) {
+    for (uint32_t v : detected.communities[ci]) member_of[v].insert(ci);
+  }
+  size_t together = 0;
+  size_t total = 0;
+  for (int b = 0; b < blocks; ++b) {
+    for (int i = 0; i < investors_per_block; ++i) {
+      for (int j = i + 1; j < investors_per_block; ++j) {
+        uint64_t id_a = static_cast<uint64_t>(b * investors_per_block + i + 1);
+        uint64_t id_b = static_cast<uint64_t>(b * investors_per_block + j + 1);
+        uint32_t a = g.LeftIndexOf(id_a);
+        uint32_t bb = g.LeftIndexOf(id_b);
+        if (a == graph::BipartiteGraph::kInvalidIndex ||
+            bb == graph::BipartiteGraph::kInvalidIndex) {
+          continue;
+        }
+        ++total;
+        bool shared = false;
+        for (size_t ci : member_of[a]) shared |= member_of[bb].count(ci) > 0;
+        if (shared) ++together;
+      }
+    }
+  }
+  return total == 0 ? 0 : static_cast<double>(together) / static_cast<double>(total);
+}
+
+// --- CoDA -----------------------------------------------------------------
+
+TEST(CodaTest, RecoversPlantedBlocks) {
+  graph::BipartiteGraph g = PlantedBipartite(4, 12, 10, 0.8, 0.2, 5);
+  CodaConfig config;
+  config.num_communities = 4;
+  config.max_iterations = 60;
+  config.seed = 3;
+  CodaResult result = Coda(config).Fit(g);
+  EXPECT_GE(result.investor_communities.communities.size(), 3u);
+  double recall = PairwiseRecall(result.investor_communities, 4, 12, g);
+  EXPECT_GT(recall, 0.8);
+  // Companies group too.
+  EXPECT_GE(result.company_communities.communities.size(), 3u);
+}
+
+TEST(CodaTest, LogLikelihoodNonDecreasing) {
+  graph::BipartiteGraph g = PlantedBipartite(3, 10, 8, 0.7, 0.3, 7);
+  CodaConfig config;
+  config.num_communities = 3;
+  config.max_iterations = 30;
+  CodaResult result = Coda(config).Fit(g);
+  ASSERT_GE(result.log_likelihood_trace.size(), 2u);
+  for (size_t i = 1; i < result.log_likelihood_trace.size(); ++i) {
+    EXPECT_GE(result.log_likelihood_trace[i],
+              result.log_likelihood_trace[i - 1] - 1e-6)
+        << "iteration " << i;
+  }
+  EXPECT_EQ(result.final_log_likelihood, result.log_likelihood_trace.back());
+}
+
+TEST(CodaTest, ConvergesBeforeMaxIterations) {
+  graph::BipartiteGraph g = PlantedBipartite(2, 8, 6, 0.9, 0.1, 9);
+  CodaConfig config;
+  config.num_communities = 2;
+  config.max_iterations = 200;
+  config.tolerance = 1e-3;
+  CodaResult result = Coda(config).Fit(g);
+  EXPECT_LT(result.iterations, 200);
+}
+
+TEST(CodaTest, EmptyGraph) {
+  graph::BipartiteGraph g = graph::BipartiteGraph::FromEdges({});
+  CodaResult result = Coda(CodaConfig{}).Fit(g);
+  EXPECT_TRUE(result.investor_communities.communities.empty());
+}
+
+TEST(CodaTest, DeterministicPerSeed) {
+  graph::BipartiteGraph g = PlantedBipartite(3, 10, 8, 0.8, 0.2, 11);
+  CodaConfig config;
+  config.num_communities = 3;
+  config.max_iterations = 20;
+  config.num_threads = 1;  // parallel row order does not matter, but be safe
+  CodaResult a = Coda(config).Fit(g);
+  CodaResult b = Coda(config).Fit(g);
+  EXPECT_EQ(a.final_log_likelihood, b.final_log_likelihood);
+  ASSERT_EQ(a.investor_communities.communities.size(),
+            b.investor_communities.communities.size());
+}
+
+TEST(CodaTest, OverlappingMembershipPossible) {
+  // A bridge investor invests in both blocks' companies.
+  graph::BipartiteGraph g = PlantedBipartite(2, 10, 8, 0.9, 0.0, 13);
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (uint32_t l = 0; l < g.num_left(); ++l) {
+    for (uint32_t r : g.OutNeighbors(l)) {
+      edges.emplace_back(g.LeftId(l), g.RightId(r));
+    }
+  }
+  for (int c = 0; c < 8; ++c) {
+    edges.emplace_back(500, 1000 + static_cast<uint64_t>(c));      // block 0
+    edges.emplace_back(500, 1000 + static_cast<uint64_t>(8 + c));  // block 1
+  }
+  graph::BipartiteGraph g2 = graph::BipartiteGraph::FromEdges(edges);
+  CodaConfig config;
+  config.num_communities = 2;
+  config.max_iterations = 60;
+  CodaResult result = Coda(config).Fit(g2);
+  uint32_t bridge = g2.LeftIndexOf(500);
+  int memberships = 0;
+  for (const auto& comm : result.investor_communities.communities) {
+    if (std::binary_search(comm.begin(), comm.end(), bridge)) ++memberships;
+  }
+  EXPECT_GE(memberships, 2) << "bridge investor should join both communities";
+}
+
+// --- Louvain ----------------------------------------------------------------
+
+graph::WeightedGraph TwoCliques() {
+  // Nodes 0-4 clique, 5-9 clique, one weak bridge.
+  std::vector<std::tuple<uint32_t, uint32_t, double>> edges;
+  for (uint32_t i = 0; i < 5; ++i) {
+    for (uint32_t j = i + 1; j < 5; ++j) {
+      edges.emplace_back(i, j, 1.0);
+      edges.emplace_back(i + 5, j + 5, 1.0);
+    }
+  }
+  edges.emplace_back(4, 5, 0.1);
+  return graph::WeightedGraph::FromEdges(10, edges);
+}
+
+TEST(LouvainTest, SeparatesTwoCliques) {
+  LouvainResult result = RunLouvain(TwoCliques());
+  EXPECT_EQ(result.communities.communities.size(), 2u);
+  EXPECT_GT(result.modularity, 0.4);
+  // All of 0-4 share a label; all of 5-9 share another.
+  for (int v = 1; v < 5; ++v) EXPECT_EQ(result.labels[v], result.labels[0]);
+  for (int v = 6; v < 10; ++v) EXPECT_EQ(result.labels[v], result.labels[5]);
+  EXPECT_NE(result.labels[0], result.labels[5]);
+}
+
+TEST(LouvainTest, IsolatedNodesUnassigned) {
+  graph::WeightedGraph g =
+      graph::WeightedGraph::FromEdges(4, {{0, 1, 1.0}});  // 2,3 isolated
+  LouvainResult result = RunLouvain(g);
+  EXPECT_EQ(result.labels[2], -1);
+  EXPECT_EQ(result.labels[3], -1);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+}
+
+TEST(LouvainTest, EmptyGraph) {
+  graph::WeightedGraph g;
+  LouvainResult result = RunLouvain(g);
+  EXPECT_TRUE(result.communities.communities.empty());
+}
+
+TEST(ModularityTest, KnownValues) {
+  graph::WeightedGraph g = TwoCliques();
+  std::vector<int> perfect(10, 0);
+  for (int v = 5; v < 10; ++v) perfect[static_cast<size_t>(v)] = 1;
+  std::vector<int> single(10, 0);
+  EXPECT_GT(Modularity(g, perfect), Modularity(g, single));
+  EXPECT_NEAR(Modularity(g, single), 0.0, 1e-9);
+}
+
+// --- label propagation ---------------------------------------------------------
+
+TEST(LabelPropagationTest, SeparatesTwoCliques) {
+  LabelPropagationResult result = RunLabelPropagation(TwoCliques());
+  EXPECT_EQ(result.communities.communities.size(), 2u);
+  for (int v = 1; v < 5; ++v) EXPECT_EQ(result.labels[v], result.labels[0]);
+  for (int v = 6; v < 10; ++v) EXPECT_EQ(result.labels[v], result.labels[5]);
+}
+
+TEST(LabelPropagationTest, TerminatesOnStableLabels) {
+  LabelPropagationResult result = RunLabelPropagation(TwoCliques());
+  EXPECT_LT(result.iterations, 50);
+}
+
+// --- SBM -------------------------------------------------------------------------
+
+TEST(SbmTest, RecoversPlantedBlocks) {
+  graph::BipartiteGraph g = PlantedBipartite(3, 15, 12, 0.7, 0.05, 17);
+  SbmConfig config;
+  config.num_investor_blocks = 3;
+  config.num_company_blocks = 3;
+  config.seed = 2;
+  SbmResult result = RunSbm(g, config);
+  double recall = PairwiseRecall(result.investor_communities, 3, 15, g);
+  EXPECT_GT(recall, 0.8);
+  EXPECT_LT(result.sweeps, config.max_sweeps + 1);
+  EXPECT_LT(result.log_posterior, 0);
+}
+
+TEST(SbmTest, LabelsCoverAllNodes) {
+  graph::BipartiteGraph g = PlantedBipartite(2, 10, 8, 0.8, 0.1, 19);
+  SbmResult result = RunSbm(g);
+  EXPECT_EQ(result.investor_labels.size(), g.num_left());
+  EXPECT_EQ(result.company_labels.size(), g.num_right());
+}
+
+// --- random baseline --------------------------------------------------------------
+
+TEST(RandomBaselineTest, PartitionsAllNodes) {
+  CommunitySet set = RandomCommunities(1000, 10, 3);
+  size_t total = 0;
+  std::set<uint32_t> seen;
+  for (const auto& c : set.communities) {
+    total += c.size();
+    for (uint32_t v : c) {
+      EXPECT_TRUE(seen.insert(v).second) << "node in two communities";
+    }
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(set.communities.size(), 10u);
+  EXPECT_NEAR(set.AverageSize(), 100, 40);
+}
+
+TEST(CommunitySetTest, FromLabelsAndPrune) {
+  CommunitySet set = CommunitySet::FromLabels({0, 1, 0, -1, 2, 2, 2});
+  ASSERT_EQ(set.communities.size(), 3u);
+  set.PruneSmall(2);
+  ASSERT_EQ(set.communities.size(), 2u);  // singleton label-1 removed
+}
+
+}  // namespace
+}  // namespace cfnet::community

@@ -1,0 +1,113 @@
+#include "core/community_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+
+namespace cfnet::core {
+namespace {
+
+std::vector<uint32_t> AllLeft(const graph::BipartiteGraph& g) {
+  std::vector<uint32_t> all;
+  for (uint32_t l = 0; l < g.num_left(); ++l) all.push_back(l);
+  return all;
+}
+
+// Figure 8 of the paper works through both metrics on two toy communities;
+// these tests pin our implementation to the paper's worked numbers.
+
+TEST(ToyExamplesTest, StrongCommunityMeanSharedSizeIs5Thirds) {
+  graph::BipartiteGraph g = ToyCommunityExample1();
+  EXPECT_NEAR(MeanSharedInvestmentSize(g, AllLeft(g)), 5.0 / 3, 1e-12);
+}
+
+TEST(ToyExamplesTest, StrongCommunitySharedInvestorPercentIs100) {
+  graph::BipartiteGraph g = ToyCommunityExample1();
+  EXPECT_DOUBLE_EQ(SharedInvestorCompanyPercent(g, AllLeft(g), 2), 100.0);
+}
+
+TEST(ToyExamplesTest, WeakCommunityMeanSharedSizeIsOneThird) {
+  graph::BipartiteGraph g = ToyCommunityExample2();
+  EXPECT_NEAR(MeanSharedInvestmentSize(g, AllLeft(g)), 1.0 / 3, 1e-12);
+}
+
+TEST(ToyExamplesTest, WeakCommunitySharedInvestorPercentIs25) {
+  graph::BipartiteGraph g = ToyCommunityExample2();
+  EXPECT_DOUBLE_EQ(SharedInvestorCompanyPercent(g, AllLeft(g), 2), 25.0);
+}
+
+TEST(SharedInvestmentSizesTest, EnumeratesAllPairs) {
+  graph::BipartiteGraph g = ToyCommunityExample1();
+  auto sizes = SharedInvestmentSizes(g, AllLeft(g));
+  ASSERT_EQ(sizes.size(), 3u);  // C(3,2)
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<double>{1, 2, 2}));
+}
+
+TEST(SharedInvestmentSizesTest, SamplesWhenPairCountLarge) {
+  // 100 investors all investing in the same 2 companies.
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    edges.emplace_back(i, 500);
+    edges.emplace_back(i, 501);
+  }
+  graph::BipartiteGraph g = graph::BipartiteGraph::FromEdges(edges);
+  auto sizes = SharedInvestmentSizes(g, AllLeft(g), /*max_pairs=*/100);
+  EXPECT_EQ(sizes.size(), 100u);
+  for (double s : sizes) EXPECT_DOUBLE_EQ(s, 2.0);
+}
+
+TEST(SharedInvestmentSizesTest, SmallCommunities) {
+  graph::BipartiteGraph g = ToyCommunityExample1();
+  EXPECT_TRUE(SharedInvestmentSizes(g, {}).empty());
+  EXPECT_TRUE(SharedInvestmentSizes(g, {0}).empty());
+  EXPECT_EQ(MeanSharedInvestmentSize(g, {0}), 0.0);
+}
+
+TEST(SharedInvestorPercentTest, ThresholdK) {
+  graph::BipartiteGraph g = ToyCommunityExample1();
+  // K=1: trivially every invested company qualifies.
+  EXPECT_DOUBLE_EQ(SharedInvestorCompanyPercent(g, AllLeft(g), 1), 100.0);
+  // K=3: only company 102 has all three investors.
+  EXPECT_NEAR(SharedInvestorCompanyPercent(g, AllLeft(g), 3), 100.0 / 3,
+              1e-12);
+  // Empty community.
+  EXPECT_DOUBLE_EQ(SharedInvestorCompanyPercent(g, {}, 2), 0.0);
+}
+
+TEST(MeanSharedInvestorPercentTest, AveragesAcrossCommunities) {
+  graph::BipartiteGraph g = ToyCommunityExample1();
+  community::CommunitySet set;
+  set.num_nodes = g.num_left();
+  set.communities = {{0, 1, 2}, {0, 1}};
+  // First community: 100%. Second: investors 1,2 (ids 1 and 2) share
+  // companies 101,102 of {101,102,103} -> 2/3.
+  double expected = (100.0 + 100.0 * 2 / 3) / 2;
+  EXPECT_NEAR(MeanSharedInvestorCompanyPercent(g, set, 2), expected, 1e-9);
+}
+
+TEST(GlobalSampleTest, SizesAndDeterminism) {
+  graph::BipartiteGraph g = ToyCommunityExample1();
+  auto a = GlobalSharedInvestmentSample(g, 1000, 5);
+  auto b = GlobalSharedInvestmentSample(g, 1000, 5);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(a, b);
+  auto c = GlobalSharedInvestmentSample(g, 1000, 6);
+  EXPECT_NE(a, c);
+  // All values must be valid intersection sizes (0..2 for this graph).
+  for (double v : a) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(GlobalSampleTest, PairsAreDistinctInvestors) {
+  // With 2 investors every sampled pair is (0,1): shared = their true value.
+  graph::BipartiteGraph g = graph::BipartiteGraph::FromEdges(
+      {{1, 10}, {1, 11}, {2, 10}, {2, 11}});
+  auto sample = GlobalSharedInvestmentSample(g, 50, 1);
+  for (double v : sample) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+}  // namespace
+}  // namespace cfnet::core

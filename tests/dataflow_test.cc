@@ -1,0 +1,369 @@
+#include "dataflow/dataset.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cfnet::dataflow {
+namespace {
+
+std::shared_ptr<ExecutionContext> Ctx(size_t threads = 4) {
+  return std::make_shared<ExecutionContext>(threads);
+}
+
+std::vector<int> Range(int n) {
+  std::vector<int> v(static_cast<size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(DatasetTest, CollectPreservesElements) {
+  auto ctx = Ctx();
+  auto ds = Dataset<int>::FromVector(ctx, Range(1000), 7);
+  std::vector<int> out = ds.Collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, Range(1000));
+  EXPECT_EQ(ds.Count(), 1000u);
+  EXPECT_EQ(ds.num_partitions(), 7u);
+}
+
+TEST(DatasetTest, RangePartitioningIsBalanced) {
+  auto ctx = Ctx();
+  auto ds = Dataset<int>::FromVector(ctx, Range(10), 3);
+  // Partition sizes 4,3,3 and order preserved on Collect.
+  EXPECT_EQ(ds.Collect(), Range(10));
+}
+
+TEST(DatasetTest, MapTransformsEveryElement) {
+  auto ctx = Ctx();
+  auto out = Dataset<int>::FromVector(ctx, Range(100))
+                 .Map([](const int& x) { return x * 2; })
+                 .Collect();
+  std::sort(out.begin(), out.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], 2 * i);
+}
+
+TEST(DatasetTest, MapChangesType) {
+  auto ctx = Ctx();
+  auto out = Dataset<int>::FromVector(ctx, {1, 22, 333})
+                 .Map([](const int& x) { return std::to_string(x); })
+                 .Collect();
+  EXPECT_EQ(out, (std::vector<std::string>{"1", "22", "333"}));
+}
+
+TEST(DatasetTest, FilterKeepsMatching) {
+  auto ctx = Ctx();
+  size_t evens = Dataset<int>::FromVector(ctx, Range(1001))
+                     .Filter([](const int& x) { return x % 2 == 0; })
+                     .Count();
+  EXPECT_EQ(evens, 501u);
+}
+
+TEST(DatasetTest, FlatMapExpandsAndContracts) {
+  auto ctx = Ctx();
+  auto out = Dataset<int>::FromVector(ctx, {0, 1, 2, 3})
+                 .FlatMap([](const int& x) {
+                   return std::vector<int>(static_cast<size_t>(x), x);
+                 })
+                 .Collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 2, 3, 3, 3}));
+}
+
+TEST(DatasetTest, UnionConcatenates) {
+  auto ctx = Ctx();
+  auto a = Dataset<int>::FromVector(ctx, {1, 2});
+  auto b = Dataset<int>::FromVector(ctx, {3});
+  auto out = a.Union(b).Collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DatasetTest, DistinctRemovesDuplicates) {
+  auto ctx = Ctx();
+  std::vector<int> data;
+  for (int i = 0; i < 500; ++i) data.push_back(i % 50);
+  auto out = Dataset<int>::FromVector(ctx, data).Distinct().Collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, Range(50));
+}
+
+TEST(DatasetTest, DistinctOnStrings) {
+  auto ctx = Ctx();
+  auto out = Dataset<std::string>::FromVector(ctx, {"a", "b", "a", "c", "b"})
+                 .Distinct()
+                 .Collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(DatasetTest, SampleApproximatesFraction) {
+  auto ctx = Ctx();
+  size_t n = Dataset<int>::FromVector(ctx, Range(20000)).Sample(0.25, 99).Count();
+  EXPECT_NEAR(static_cast<double>(n), 5000, 300);
+  // Deterministic per seed.
+  size_t n2 = Dataset<int>::FromVector(ctx, Range(20000)).Sample(0.25, 99).Count();
+  EXPECT_EQ(n, n2);
+}
+
+TEST(DatasetTest, RepartitionPreservesElements) {
+  auto ctx = Ctx();
+  auto ds = Dataset<int>::FromVector(ctx, Range(100), 2).Repartition(9);
+  EXPECT_EQ(ds.num_partitions(), 9u);
+  auto out = ds.Collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, Range(100));
+}
+
+TEST(DatasetTest, ReduceSums) {
+  auto ctx = Ctx();
+  int sum = Dataset<int>::FromVector(ctx, Range(101))
+                .Reduce([](int a, int b) { return a + b; }, 0);
+  EXPECT_EQ(sum, 5050);
+}
+
+TEST(DatasetTest, ForEachVisitsAll) {
+  auto ctx = Ctx();
+  std::atomic<int> sum{0};
+  Dataset<int>::FromVector(ctx, Range(100)).ForEach([&sum](const int& x) {
+    sum.fetch_add(x);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(DatasetTest, SortByAndTopBy) {
+  auto ctx = Ctx();
+  auto ds = Dataset<int>::FromVector(ctx, {5, 3, 9, 1, 7});
+  EXPECT_EQ(ds.SortBy([](const int& x) { return x; }),
+            (std::vector<int>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(ds.TopBy(2, [](const int& x) { return x; }),
+            (std::vector<int>{9, 7}));
+  EXPECT_EQ(ds.TopBy(99, [](const int& x) { return x; }).size(), 5u);
+}
+
+TEST(DatasetTest, LazinessComputesOnce) {
+  auto ctx = Ctx();
+  std::atomic<int> calls{0};
+  auto ds = Dataset<int>::FromVector(ctx, Range(10)).Map([&calls](const int& x) {
+    calls.fetch_add(1);
+    return x;
+  });
+  EXPECT_EQ(calls.load(), 0);  // lazy until an action
+  ds.Count();
+  EXPECT_EQ(calls.load(), 10);
+  ds.Collect();  // memoized: no recompute
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(DatasetTest, ChainedPipelineMatchesSerialReference) {
+  auto ctx = Ctx(8);
+  std::vector<int> data = Range(5000);
+  auto result = Dataset<int>::FromVector(ctx, data, 16)
+                    .Map([](const int& x) { return x * 3; })
+                    .Filter([](const int& x) { return x % 2 == 0; })
+                    .FlatMap([](const int& x) {
+                      return std::vector<int>{x, x + 1};
+                    })
+                    .Collect();
+  std::vector<int> expected;
+  for (int x : data) {
+    int y = x * 3;
+    if (y % 2 == 0) {
+      expected.push_back(y);
+      expected.push_back(y + 1);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(result, expected);
+}
+
+// --- key-value operations ---------------------------------------------------
+
+TEST(KeyValueTest, ReduceByKeySums) {
+  auto ctx = Ctx();
+  std::vector<std::pair<int, int>> kvs;
+  for (int i = 0; i < 1000; ++i) kvs.emplace_back(i % 10, 1);
+  auto out = ReduceByKey(Dataset<std::pair<int, int>>::FromVector(ctx, kvs),
+                         [](int a, int b) { return a + b; })
+                 .Collect();
+  ASSERT_EQ(out.size(), 10u);
+  for (const auto& [k, v] : out) EXPECT_EQ(v, 100);
+}
+
+TEST(KeyValueTest, GroupByKeyCollectsValues) {
+  auto ctx = Ctx();
+  std::vector<std::pair<std::string, int>> kvs = {
+      {"a", 1}, {"b", 2}, {"a", 3}, {"a", 5}};
+  auto out = GroupByKey(
+                 Dataset<std::pair<std::string, int>>::FromVector(ctx, kvs))
+                 .Collect();
+  ASSERT_EQ(out.size(), 2u);
+  std::sort(out.begin(), out.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  EXPECT_EQ(out[0].first, "a");
+  std::vector<int> vals = out[0].second;
+  std::sort(vals.begin(), vals.end());
+  EXPECT_EQ(vals, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(out[1].second, (std::vector<int>{2}));
+}
+
+TEST(KeyValueTest, InnerJoinMatchesPairs) {
+  auto ctx = Ctx();
+  auto left = Dataset<std::pair<int, std::string>>::FromVector(
+      ctx, {{1, "a"}, {2, "b"}, {2, "b2"}, {3, "c"}});
+  auto right = Dataset<std::pair<int, double>>::FromVector(
+      ctx, {{2, 2.0}, {3, 3.0}, {4, 4.0}});
+  auto out = Join(left, right).Collect();
+  // Key 2 joins twice (two left rows), key 3 once; keys 1,4 drop.
+  ASSERT_EQ(out.size(), 3u);
+  std::multiset<int> keys;
+  for (const auto& [k, v] : out) keys.insert(k);
+  EXPECT_EQ(keys.count(2), 2u);
+  EXPECT_EQ(keys.count(3), 1u);
+}
+
+TEST(KeyValueTest, LeftOuterJoinKeepsUnmatched) {
+  auto ctx = Ctx();
+  auto left = Dataset<std::pair<int, std::string>>::FromVector(
+      ctx, {{1, "a"}, {2, "b"}});
+  auto right =
+      Dataset<std::pair<int, int>>::FromVector(ctx, {{2, 20}});
+  auto out = LeftOuterJoin(left, right).Collect();
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& [k, v] : out) {
+    if (k == 1) {
+      EXPECT_FALSE(v.second.second);  // unmatched flag
+    } else {
+      EXPECT_TRUE(v.second.second);
+      EXPECT_EQ(v.second.first, 20);
+    }
+  }
+}
+
+TEST(KeyValueTest, CountByKey) {
+  auto ctx = Ctx();
+  std::vector<std::pair<std::string, int>> kvs = {
+      {"x", 0}, {"y", 0}, {"x", 0}, {"x", 0}};
+  auto counts =
+      CountByKey(Dataset<std::pair<std::string, int>>::FromVector(ctx, kvs));
+  EXPECT_EQ(counts["x"], 3u);
+  EXPECT_EQ(counts["y"], 1u);
+}
+
+TEST(KeyValueTest, KeyByDerivesKeys) {
+  auto ctx = Ctx();
+  auto out = KeyBy(Dataset<std::string>::FromVector(ctx, {"aa", "b", "ccc"}),
+                   [](const std::string& s) { return s.size(); })
+                 .Collect();
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& [k, v] : out) EXPECT_EQ(k, v.size());
+}
+
+TEST(KeyValueTest, LargeShuffleMatchesReference) {
+  auto ctx = Ctx(8);
+  std::vector<std::pair<int, int>> kvs;
+  std::unordered_map<int, long> expected;
+  for (int i = 0; i < 50000; ++i) {
+    int k = (i * 7919) % 997;
+    kvs.emplace_back(k, i);
+    expected[k] += i;
+  }
+  auto out = ReduceByKey(
+                 Dataset<std::pair<int, int>>::FromVector(ctx, kvs, 32)
+                     .Map([](const std::pair<int, int>& kv) {
+                       return std::make_pair(kv.first,
+                                             static_cast<long>(kv.second));
+                     }),
+                 [](long a, long b) { return a + b; }, 16)
+                 .Collect();
+  ASSERT_EQ(out.size(), expected.size());
+  for (const auto& [k, v] : out) EXPECT_EQ(v, expected[k]) << "key " << k;
+}
+
+TEST(EngineMetricsTest, CountsTasksAndShuffles) {
+  auto ctx = Ctx(4);
+  auto ds = Dataset<int>::FromVector(ctx, Range(100), 4)
+                .Map([](const int& x) { return std::make_pair(x % 5, x); });
+  ReduceByKey(ds, [](int a, int b) { return a + b; }).Collect();
+  EXPECT_GT(ctx->metrics().tasks_launched.load(), 0u);
+  EXPECT_EQ(ctx->metrics().shuffle_records.load(), 100u);
+  EXPECT_GT(ctx->metrics().stages_run.load(), 0u);
+}
+
+}  // namespace
+}  // namespace cfnet::dataflow
+
+namespace cfnet::dataflow {
+namespace {
+
+TEST(KeyValueTest, AggregateByKeyWithDifferentAccumulatorType) {
+  auto ctx = std::make_shared<ExecutionContext>(4);
+  std::vector<std::pair<int, int>> kvs;
+  for (int i = 0; i < 300; ++i) kvs.emplace_back(i % 3, i);
+  // Accumulator: (count, sum) pair.
+  using Acc = std::pair<long, long>;
+  auto out = AggregateByKey(
+      Dataset<std::pair<int, int>>::FromVector(ctx, kvs, 8), Acc{0, 0},
+      [](Acc a, int v) {
+        return Acc{a.first + 1, a.second + v};
+      },
+      [](Acc a, Acc b) {
+        return Acc{a.first + b.first, a.second + b.second};
+      });
+  auto collected = out.Collect();
+  ASSERT_EQ(collected.size(), 3u);
+  for (const auto& [k, acc] : collected) {
+    EXPECT_EQ(acc.first, 100);  // 100 values per key
+    long expected_sum = 0;
+    for (int i = 0; i < 300; ++i) {
+      if (i % 3 == k) expected_sum += i;
+    }
+    EXPECT_EQ(acc.second, expected_sum);
+  }
+}
+
+TEST(KeyValueTest, AggregateByKeyEqualsReduceByKeyForSameType) {
+  auto ctx = std::make_shared<ExecutionContext>(4);
+  std::vector<std::pair<int, long>> kvs;
+  for (int i = 0; i < 5000; ++i) kvs.emplace_back(i % 97, 1L);
+  auto via_reduce =
+      ReduceByKey(Dataset<std::pair<int, long>>::FromVector(ctx, kvs),
+                  [](long a, long b) { return a + b; })
+          .Collect();
+  auto via_agg = AggregateByKey(
+                     Dataset<std::pair<int, long>>::FromVector(ctx, kvs), 0L,
+                     [](long a, long v) { return a + v; },
+                     [](long a, long b) { return a + b; })
+                     .Collect();
+  std::unordered_map<int, long> expect(via_reduce.begin(), via_reduce.end());
+  ASSERT_EQ(via_agg.size(), expect.size());
+  for (const auto& [k, v] : via_agg) EXPECT_EQ(v, expect[k]);
+}
+
+TEST(KeyValueTest, CoGroupKeepsBothSides) {
+  auto ctx = std::make_shared<ExecutionContext>(4);
+  auto left = Dataset<std::pair<int, std::string>>::FromVector(
+      ctx, {{1, "a"}, {1, "b"}, {2, "c"}});
+  auto right =
+      Dataset<std::pair<int, int>>::FromVector(ctx, {{1, 10}, {3, 30}});
+  auto out = CoGroup(left, right).Collect();
+  ASSERT_EQ(out.size(), 3u);  // keys 1, 2, 3
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  EXPECT_EQ(out[0].first, 1);
+  EXPECT_EQ(out[0].second.first.size(), 2u);
+  EXPECT_EQ(out[0].second.second, (std::vector<int>{10}));
+  EXPECT_EQ(out[1].first, 2);
+  EXPECT_TRUE(out[1].second.second.empty());
+  EXPECT_EQ(out[2].first, 3);
+  EXPECT_TRUE(out[2].second.first.empty());
+  EXPECT_EQ(out[2].second.second, (std::vector<int>{30}));
+}
+
+}  // namespace
+}  // namespace cfnet::dataflow

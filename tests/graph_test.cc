@@ -1,0 +1,242 @@
+#include "graph/bipartite_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+#include "graph/weighted_graph.h"
+
+namespace cfnet::graph {
+namespace {
+
+BipartiteGraph Sample() {
+  // investors 10,20,30 -> companies 1,2,3,4
+  return BipartiteGraph::FromEdges({
+      {10, 1}, {10, 2},
+      {20, 1}, {20, 2}, {20, 3},
+      {30, 3}, {30, 4},
+  });
+}
+
+TEST(BipartiteGraphTest, BasicDimensions) {
+  BipartiteGraph g = Sample();
+  EXPECT_EQ(g.num_left(), 3u);
+  EXPECT_EQ(g.num_right(), 4u);
+  EXPECT_EQ(g.num_edges(), 7u);
+}
+
+TEST(BipartiteGraphTest, EmptyGraph) {
+  BipartiteGraph g = BipartiteGraph::FromEdges({});
+  EXPECT_EQ(g.num_left(), 0u);
+  EXPECT_EQ(g.num_right(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(BipartiteGraphTest, DuplicateEdgesCollapse) {
+  BipartiteGraph g = BipartiteGraph::FromEdges({{1, 5}, {1, 5}, {1, 5}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+}
+
+TEST(BipartiteGraphTest, IdMappingsRoundTrip) {
+  BipartiteGraph g = Sample();
+  for (uint64_t id : {10ull, 20ull, 30ull}) {
+    uint32_t idx = g.LeftIndexOf(id);
+    ASSERT_NE(idx, BipartiteGraph::kInvalidIndex);
+    EXPECT_EQ(g.LeftId(idx), id);
+  }
+  for (uint64_t id : {1ull, 2ull, 3ull, 4ull}) {
+    uint32_t idx = g.RightIndexOf(id);
+    ASSERT_NE(idx, BipartiteGraph::kInvalidIndex);
+    EXPECT_EQ(g.RightId(idx), id);
+  }
+  EXPECT_EQ(g.LeftIndexOf(999), BipartiteGraph::kInvalidIndex);
+  EXPECT_EQ(g.RightIndexOf(999), BipartiteGraph::kInvalidIndex);
+}
+
+TEST(BipartiteGraphTest, NeighborsSortedAndConsistent) {
+  BipartiteGraph g = Sample();
+  // For every out-edge there must be the matching in-edge and vice versa.
+  size_t out_total = 0;
+  for (uint32_t l = 0; l < g.num_left(); ++l) {
+    auto nbrs = g.OutNeighbors(l);
+    out_total += nbrs.size();
+    for (size_t i = 1; i < nbrs.size(); ++i) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    for (uint32_t r : nbrs) {
+      auto in = g.InNeighbors(r);
+      EXPECT_NE(std::find(in.begin(), in.end(), l), in.end());
+    }
+  }
+  size_t in_total = 0;
+  for (uint32_t r = 0; r < g.num_right(); ++r) {
+    auto in = g.InNeighbors(r);
+    in_total += in.size();
+    for (size_t i = 1; i < in.size(); ++i) EXPECT_LT(in[i - 1], in[i]);
+  }
+  EXPECT_EQ(out_total, g.num_edges());
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+TEST(BipartiteGraphTest, SharedOutNeighbors) {
+  BipartiteGraph g = Sample();
+  uint32_t i10 = g.LeftIndexOf(10);
+  uint32_t i20 = g.LeftIndexOf(20);
+  uint32_t i30 = g.LeftIndexOf(30);
+  EXPECT_EQ(g.SharedOutNeighbors(i10, i20), 2u);  // companies 1,2
+  EXPECT_EQ(g.SharedOutNeighbors(i20, i30), 1u);  // company 3
+  EXPECT_EQ(g.SharedOutNeighbors(i10, i30), 0u);
+  EXPECT_EQ(g.SharedOutNeighbors(i10, i10), 2u);  // self intersection
+}
+
+TEST(BipartiteGraphTest, FilterLeftByMinDegree) {
+  BipartiteGraph g = Sample();
+  BipartiteGraph filtered = g.FilterLeftByMinDegree(3);
+  EXPECT_EQ(filtered.num_left(), 1u);  // only investor 20 has degree 3
+  EXPECT_EQ(filtered.LeftId(0), 20u);
+  EXPECT_EQ(filtered.num_edges(), 3u);
+  // Companies with no remaining investors disappear.
+  EXPECT_EQ(filtered.num_right(), 3u);
+  EXPECT_EQ(filtered.RightIndexOf(4), BipartiteGraph::kInvalidIndex);
+}
+
+TEST(BipartiteGraphTest, DegreeSummary) {
+  BipartiteGraph g = BipartiteGraph::FromEdges({
+      {1, 1},                          // degree 1
+      {2, 1}, {2, 2},                  // degree 2
+      {3, 1}, {3, 2}, {3, 3}, {3, 4},  // degree 4
+  });
+  DegreeSummary s = SummarizeOutDegrees(g, {2, 4});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0 / 3);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_EQ(s.max, 4u);
+  ASSERT_EQ(s.concentration.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.concentration[0].node_fraction, 2.0 / 3);
+  EXPECT_DOUBLE_EQ(s.concentration[0].edge_fraction, 6.0 / 7);
+  EXPECT_DOUBLE_EQ(s.concentration[1].node_fraction, 1.0 / 3);
+  EXPECT_DOUBLE_EQ(s.concentration[1].edge_fraction, 4.0 / 7);
+}
+
+// --- weighted projection ------------------------------------------------------
+
+TEST(WeightedGraphTest, ProjectLeftCountsCoInvestments) {
+  BipartiteGraph g = Sample();
+  WeightedGraph p = WeightedGraph::ProjectLeft(g);
+  EXPECT_EQ(p.num_nodes(), 3u);
+  EXPECT_EQ(p.num_edges(), 2u);  // (10,20) and (20,30)
+  uint32_t i10 = g.LeftIndexOf(10);
+  uint32_t i20 = g.LeftIndexOf(20);
+  auto nbrs = p.Neighbors(i10);
+  auto ws = p.Weights(i10);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0], i20);
+  EXPECT_DOUBLE_EQ(ws[0], 2.0);  // two shared companies
+  EXPECT_DOUBLE_EQ(p.WeightedDegree(i20), 3.0);  // 2 with i10, 1 with i30
+  EXPECT_DOUBLE_EQ(p.TotalWeight2m(), 6.0);
+}
+
+TEST(WeightedGraphTest, ProjectSkipsHugeCompanies) {
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (uint64_t i = 1; i <= 20; ++i) edges.emplace_back(i, 100);  // hub
+  edges.emplace_back(1, 200);
+  edges.emplace_back(2, 200);
+  BipartiteGraph g = BipartiteGraph::FromEdges(edges);
+  WeightedGraph capped = WeightedGraph::ProjectLeft(g, /*max_right_degree=*/10);
+  EXPECT_EQ(capped.num_edges(), 1u);  // only the small company contributes
+  WeightedGraph full = WeightedGraph::ProjectLeft(g);
+  EXPECT_EQ(full.num_edges(), 20u * 19 / 2);
+}
+
+TEST(WeightedGraphTest, FromEdgesBuildsSymmetricAdjacency) {
+  WeightedGraph g = WeightedGraph::FromEdges(3, {{0, 1, 2.5}, {1, 2, 1.0}});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 3.5);
+  EXPECT_DOUBLE_EQ(g.TotalWeight2m(), 7.0);
+  auto n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 1u);
+  EXPECT_EQ(n0[0], 1u);
+}
+
+}  // namespace
+}  // namespace cfnet::graph
+
+namespace cfnet::graph {
+namespace {
+
+// --- serialization + SNAP interop -------------------------------------------
+
+TEST(GraphIoTest, BinaryRoundTripThroughDfs) {
+  BipartiteGraph g = Sample();
+  dfs::MiniDfs fs;
+  ASSERT_TRUE(WriteBipartiteGraph(&fs, "/graphs/investors.bin", g).ok());
+  auto loaded = ReadBipartiteGraph(fs, "/graphs/investors.bin");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_left(), g.num_left());
+  EXPECT_EQ(loaded->num_right(), g.num_right());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  for (uint32_t l = 0; l < g.num_left(); ++l) {
+    uint32_t ll = loaded->LeftIndexOf(g.LeftId(l));
+    ASSERT_NE(ll, BipartiteGraph::kInvalidIndex);
+    ASSERT_EQ(loaded->OutDegree(ll), g.OutDegree(l));
+    for (uint32_t r : g.OutNeighbors(l)) {
+      uint32_t rr = loaded->RightIndexOf(g.RightId(r));
+      auto nbrs = loaded->OutNeighbors(ll);
+      EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), rr));
+    }
+  }
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrips) {
+  BipartiteGraph g = BipartiteGraph::FromEdges({});
+  dfs::MiniDfs fs;
+  ASSERT_TRUE(WriteBipartiteGraph(&fs, "/graphs/empty.bin", g).ok());
+  auto loaded = ReadBipartiteGraph(fs, "/graphs/empty.bin");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), 0u);
+}
+
+TEST(GraphIoTest, RejectsCorruptedFiles) {
+  BipartiteGraph g = Sample();
+  dfs::MiniDfs fs;
+  ASSERT_TRUE(WriteBipartiteGraph(&fs, "/g.bin", g).ok());
+  auto content = fs.ReadFile("/g.bin");
+  ASSERT_TRUE(content.ok());
+  // Bad magic.
+  std::string bad = *content;
+  bad[0] = 'X';
+  ASSERT_TRUE(fs.WriteFile("/bad1.bin", bad).ok());
+  EXPECT_EQ(ReadBipartiteGraph(fs, "/bad1.bin").status().code(),
+            StatusCode::kCorruption);
+  // Truncation.
+  ASSERT_TRUE(fs.WriteFile("/bad2.bin", content->substr(0, 40)).ok());
+  EXPECT_EQ(ReadBipartiteGraph(fs, "/bad2.bin").status().code(),
+            StatusCode::kCorruption);
+  // Trailing junk.
+  ASSERT_TRUE(fs.WriteFile("/bad3.bin", *content + "junk").ok());
+  EXPECT_EQ(ReadBipartiteGraph(fs, "/bad3.bin").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_TRUE(ReadBipartiteGraph(fs, "/missing.bin").status().IsNotFound());
+}
+
+TEST(GraphIoTest, SnapEdgeListRoundTrip) {
+  BipartiteGraph g = Sample();
+  std::string snap = ToSnapEdgeList(g);
+  EXPECT_NE(snap.find("# Nodes: 3+4 Edges: 7"), std::string::npos);
+  EXPECT_NE(snap.find("10\t1"), std::string::npos);
+  auto parsed = FromSnapEdgeList(snap);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_edges(), g.num_edges());
+  EXPECT_EQ(parsed->num_left(), g.num_left());
+  EXPECT_EQ(parsed->num_right(), g.num_right());
+}
+
+TEST(GraphIoTest, SnapParserRejectsMalformedLines) {
+  EXPECT_FALSE(FromSnapEdgeList("1 2\n").ok());      // space, not tab
+  EXPECT_FALSE(FromSnapEdgeList("a\tb\n").ok());     // non-numeric
+  EXPECT_FALSE(FromSnapEdgeList("1\t2x\n").ok());    // trailing garbage
+  auto ok = FromSnapEdgeList("# comment\n\n1\t2\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace cfnet::graph

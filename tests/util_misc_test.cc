@@ -1,0 +1,189 @@
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+#include "util/sim_clock.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace cfnet {
+namespace {
+
+// --- ThreadPool -----------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Schedule([&count]() { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([]() { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelismActuallyParallel) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(pool.Submit([&]() {
+      int now = concurrent.fetch_add(1) + 1;
+      int old_peak = peak.load();
+      while (now > old_peak && !peak.compare_exchange_weak(old_peak, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      concurrent.fetch_sub(1);
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitIdlesWithEmptyQueue) {
+  ThreadPool pool(2);
+  pool.Wait();  // no tasks: must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, MinimumOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  auto fut = pool.Submit([]() { return 1; });
+  EXPECT_EQ(fut.get(), 1);
+}
+
+// --- string utilities -------------------------------------------------------
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(StrTrim("  x  "), "x");
+  EXPECT_EQ(StrTrim("\t\nhello world\r "), "hello world");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("https://x.com", "https://"));
+  EXPECT_FALSE(StartsWith("http://x.com", "https://"));
+  EXPECT_TRUE(EndsWith("file.jsonl", ".jsonl"));
+  EXPECT_FALSE(EndsWith("file.json", ".jsonl"));
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC-123"), "abc-123");
+}
+
+TEST(StringUtilTest, LastUrlSegmentExtractsHandle) {
+  // The paper's Twitter-handle extraction: "the string after the last '/'".
+  EXPECT_EQ(LastUrlSegment("https://twitter.com/startup42"), "startup42");
+  EXPECT_EQ(LastUrlSegment("https://twitter.com/startup42/"), "startup42");
+  EXPECT_EQ(LastUrlSegment("plain"), "plain");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f%%", 12.345), "12.35%");
+}
+
+TEST(StringUtilTest, ThousandsSeparators) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(744036), "744,036");
+  EXPECT_EQ(WithThousandsSeparators(-1234567), "-1,234,567");
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(AsciiTableTest, RendersAlignedColumns) {
+  AsciiTable t({"Name", "N"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| Name  | N  |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1  |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22 |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, PadsShortRows) {
+  AsciiTable t({"A", "B", "C"});
+  t.AddRow({"x"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| x |   |   |"), std::string::npos);
+}
+
+// --- flags --------------------------------------------------------------------
+
+TEST(FlagParserTest, ParsesKeyValueAndBool) {
+  const char* argv[] = {"prog", "--scale=0.5", "--workers=12", "--verbose",
+                        "positional", "--name=abc"};
+  FlagParser flags(6, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.5);
+  EXPECT_EQ(flags.GetInt("workers", 1), 12);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetString("name", ""), "abc");
+  EXPECT_EQ(flags.GetInt("missing", 99), 99);
+  EXPECT_FALSE(flags.Has("positional"));
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  const char* argv[] = {"prog", "--a=TRUE", "--b=0", "--c=on", "--d=no"};
+  FlagParser flags(5, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+// --- sim clock ------------------------------------------------------------------
+
+TEST(SimClockTest, AdvanceMonotone) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  EXPECT_EQ(clock.Advance(100), 100);
+  clock.AdvanceTo(50);  // no-op: behind current time
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.AdvanceTo(500);
+  EXPECT_EQ(clock.NowMicros(), 500);
+}
+
+TEST(SimClockTest, ConcurrentAdvanceToTakesMax) {
+  SimClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&clock, t]() {
+      for (int i = 0; i < 1000; ++i) clock.AdvanceTo(t * 1000 + i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(clock.NowMicros(), 7999);
+}
+
+}  // namespace
+}  // namespace cfnet
