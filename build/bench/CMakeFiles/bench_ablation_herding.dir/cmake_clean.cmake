@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_herding.dir/bench_ablation_herding.cc.o"
+  "CMakeFiles/bench_ablation_herding.dir/bench_ablation_herding.cc.o.d"
+  "bench_ablation_herding"
+  "bench_ablation_herding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_herding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

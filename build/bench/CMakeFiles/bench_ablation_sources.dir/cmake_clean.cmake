@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sources.dir/bench_ablation_sources.cc.o"
+  "CMakeFiles/bench_ablation_sources.dir/bench_ablation_sources.cc.o.d"
+  "bench_ablation_sources"
+  "bench_ablation_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

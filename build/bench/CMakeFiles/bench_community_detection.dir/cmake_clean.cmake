@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_community_detection.dir/bench_community_detection.cc.o"
+  "CMakeFiles/bench_community_detection.dir/bench_community_detection.cc.o.d"
+  "bench_community_detection"
+  "bench_community_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_community_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

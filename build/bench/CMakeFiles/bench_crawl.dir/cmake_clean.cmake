@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crawl.dir/bench_crawl.cc.o"
+  "CMakeFiles/bench_crawl.dir/bench_crawl.cc.o.d"
+  "bench_crawl"
+  "bench_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataflow.dir/bench_dataflow.cc.o"
+  "CMakeFiles/bench_dataflow.dir/bench_dataflow.cc.o.d"
+  "bench_dataflow"
+  "bench_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_shared_investment_cdf.dir/bench_fig4_shared_investment_cdf.cc.o"
+  "CMakeFiles/bench_fig4_shared_investment_cdf.dir/bench_fig4_shared_investment_cdf.cc.o.d"
+  "bench_fig4_shared_investment_cdf"
+  "bench_fig4_shared_investment_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_shared_investment_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

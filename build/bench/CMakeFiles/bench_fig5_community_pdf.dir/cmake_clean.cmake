@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_community_pdf.dir/bench_fig5_community_pdf.cc.o"
+  "CMakeFiles/bench_fig5_community_pdf.dir/bench_fig5_community_pdf.cc.o.d"
+  "bench_fig5_community_pdf"
+  "bench_fig5_community_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_community_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

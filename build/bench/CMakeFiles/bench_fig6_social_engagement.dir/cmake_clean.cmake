@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_social_engagement.dir/bench_fig6_social_engagement.cc.o"
+  "CMakeFiles/bench_fig6_social_engagement.dir/bench_fig6_social_engagement.cc.o.d"
+  "bench_fig6_social_engagement"
+  "bench_fig6_social_engagement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_social_engagement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_community_viz.dir/bench_fig7_community_viz.cc.o"
+  "CMakeFiles/bench_fig7_community_viz.dir/bench_fig7_community_viz.cc.o.d"
+  "bench_fig7_community_viz"
+  "bench_fig7_community_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_community_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_community_viz.
+# This may be replaced when dependencies are built.

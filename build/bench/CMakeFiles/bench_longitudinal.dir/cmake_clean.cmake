@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_longitudinal.dir/bench_longitudinal.cc.o"
+  "CMakeFiles/bench_longitudinal.dir/bench_longitudinal.cc.o.d"
+  "bench_longitudinal"
+  "bench_longitudinal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_longitudinal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfnet_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/cfnet_bench_util.dir/bench_util.cc.o.d"
+  "libcfnet_bench_util.a"
+  "libcfnet_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfnet_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

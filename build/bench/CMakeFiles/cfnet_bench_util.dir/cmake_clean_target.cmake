@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcfnet_bench_util.a"
+)

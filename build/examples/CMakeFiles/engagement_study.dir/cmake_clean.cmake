@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engagement_study.dir/engagement_study.cpp.o"
+  "CMakeFiles/engagement_study.dir/engagement_study.cpp.o.d"
+  "engagement_study"
+  "engagement_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engagement_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

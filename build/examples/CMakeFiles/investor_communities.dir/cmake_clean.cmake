@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/investor_communities.dir/investor_communities.cpp.o"
+  "CMakeFiles/investor_communities.dir/investor_communities.cpp.o.d"
+  "investor_communities"
+  "investor_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/investor_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

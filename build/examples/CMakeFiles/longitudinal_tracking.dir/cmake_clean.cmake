@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longitudinal_tracking.dir/longitudinal_tracking.cpp.o"
+  "CMakeFiles/longitudinal_tracking.dir/longitudinal_tracking.cpp.o.d"
+  "longitudinal_tracking"
+  "longitudinal_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longitudinal_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/success_prediction.dir/success_prediction.cpp.o"
+  "CMakeFiles/success_prediction.dir/success_prediction.cpp.o.d"
+  "success_prediction"
+  "success_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/success_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

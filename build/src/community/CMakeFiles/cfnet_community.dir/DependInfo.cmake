@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/community/coda.cc" "src/community/CMakeFiles/cfnet_community.dir/coda.cc.o" "gcc" "src/community/CMakeFiles/cfnet_community.dir/coda.cc.o.d"
+  "/root/repo/src/community/compare.cc" "src/community/CMakeFiles/cfnet_community.dir/compare.cc.o" "gcc" "src/community/CMakeFiles/cfnet_community.dir/compare.cc.o.d"
+  "/root/repo/src/community/label_propagation.cc" "src/community/CMakeFiles/cfnet_community.dir/label_propagation.cc.o" "gcc" "src/community/CMakeFiles/cfnet_community.dir/label_propagation.cc.o.d"
+  "/root/repo/src/community/louvain.cc" "src/community/CMakeFiles/cfnet_community.dir/louvain.cc.o" "gcc" "src/community/CMakeFiles/cfnet_community.dir/louvain.cc.o.d"
+  "/root/repo/src/community/model_selection.cc" "src/community/CMakeFiles/cfnet_community.dir/model_selection.cc.o" "gcc" "src/community/CMakeFiles/cfnet_community.dir/model_selection.cc.o.d"
+  "/root/repo/src/community/quality.cc" "src/community/CMakeFiles/cfnet_community.dir/quality.cc.o" "gcc" "src/community/CMakeFiles/cfnet_community.dir/quality.cc.o.d"
+  "/root/repo/src/community/random_baseline.cc" "src/community/CMakeFiles/cfnet_community.dir/random_baseline.cc.o" "gcc" "src/community/CMakeFiles/cfnet_community.dir/random_baseline.cc.o.d"
+  "/root/repo/src/community/sbm.cc" "src/community/CMakeFiles/cfnet_community.dir/sbm.cc.o" "gcc" "src/community/CMakeFiles/cfnet_community.dir/sbm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cfnet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cfnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/cfnet_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cfnet_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfnet_community.dir/coda.cc.o"
+  "CMakeFiles/cfnet_community.dir/coda.cc.o.d"
+  "CMakeFiles/cfnet_community.dir/compare.cc.o"
+  "CMakeFiles/cfnet_community.dir/compare.cc.o.d"
+  "CMakeFiles/cfnet_community.dir/label_propagation.cc.o"
+  "CMakeFiles/cfnet_community.dir/label_propagation.cc.o.d"
+  "CMakeFiles/cfnet_community.dir/louvain.cc.o"
+  "CMakeFiles/cfnet_community.dir/louvain.cc.o.d"
+  "CMakeFiles/cfnet_community.dir/model_selection.cc.o"
+  "CMakeFiles/cfnet_community.dir/model_selection.cc.o.d"
+  "CMakeFiles/cfnet_community.dir/quality.cc.o"
+  "CMakeFiles/cfnet_community.dir/quality.cc.o.d"
+  "CMakeFiles/cfnet_community.dir/random_baseline.cc.o"
+  "CMakeFiles/cfnet_community.dir/random_baseline.cc.o.d"
+  "CMakeFiles/cfnet_community.dir/sbm.cc.o"
+  "CMakeFiles/cfnet_community.dir/sbm.cc.o.d"
+  "libcfnet_community.a"
+  "libcfnet_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfnet_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

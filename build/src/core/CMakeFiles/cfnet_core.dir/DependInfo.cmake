@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/community_metrics.cc" "src/core/CMakeFiles/cfnet_core.dir/community_metrics.cc.o" "gcc" "src/core/CMakeFiles/cfnet_core.dir/community_metrics.cc.o.d"
+  "/root/repo/src/core/engagement_analysis.cc" "src/core/CMakeFiles/cfnet_core.dir/engagement_analysis.cc.o" "gcc" "src/core/CMakeFiles/cfnet_core.dir/engagement_analysis.cc.o.d"
+  "/root/repo/src/core/experiments.cc" "src/core/CMakeFiles/cfnet_core.dir/experiments.cc.o" "gcc" "src/core/CMakeFiles/cfnet_core.dir/experiments.cc.o.d"
+  "/root/repo/src/core/investor_graph.cc" "src/core/CMakeFiles/cfnet_core.dir/investor_graph.cc.o" "gcc" "src/core/CMakeFiles/cfnet_core.dir/investor_graph.cc.o.d"
+  "/root/repo/src/core/platform.cc" "src/core/CMakeFiles/cfnet_core.dir/platform.cc.o" "gcc" "src/core/CMakeFiles/cfnet_core.dir/platform.cc.o.d"
+  "/root/repo/src/core/prediction.cc" "src/core/CMakeFiles/cfnet_core.dir/prediction.cc.o" "gcc" "src/core/CMakeFiles/cfnet_core.dir/prediction.cc.o.d"
+  "/root/repo/src/core/records.cc" "src/core/CMakeFiles/cfnet_core.dir/records.cc.o" "gcc" "src/core/CMakeFiles/cfnet_core.dir/records.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cfnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cfnet_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/cfnet_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cfnet_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cfnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawler/CMakeFiles/cfnet_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cfnet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/cfnet_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cfnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/cfnet_viz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

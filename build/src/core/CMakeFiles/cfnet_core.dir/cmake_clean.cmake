@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfnet_core.dir/community_metrics.cc.o"
+  "CMakeFiles/cfnet_core.dir/community_metrics.cc.o.d"
+  "CMakeFiles/cfnet_core.dir/engagement_analysis.cc.o"
+  "CMakeFiles/cfnet_core.dir/engagement_analysis.cc.o.d"
+  "CMakeFiles/cfnet_core.dir/experiments.cc.o"
+  "CMakeFiles/cfnet_core.dir/experiments.cc.o.d"
+  "CMakeFiles/cfnet_core.dir/investor_graph.cc.o"
+  "CMakeFiles/cfnet_core.dir/investor_graph.cc.o.d"
+  "CMakeFiles/cfnet_core.dir/platform.cc.o"
+  "CMakeFiles/cfnet_core.dir/platform.cc.o.d"
+  "CMakeFiles/cfnet_core.dir/prediction.cc.o"
+  "CMakeFiles/cfnet_core.dir/prediction.cc.o.d"
+  "CMakeFiles/cfnet_core.dir/records.cc.o"
+  "CMakeFiles/cfnet_core.dir/records.cc.o.d"
+  "libcfnet_core.a"
+  "libcfnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crawler/crawler.cc" "src/crawler/CMakeFiles/cfnet_crawler.dir/crawler.cc.o" "gcc" "src/crawler/CMakeFiles/cfnet_crawler.dir/crawler.cc.o.d"
+  "/root/repo/src/crawler/fetch.cc" "src/crawler/CMakeFiles/cfnet_crawler.dir/fetch.cc.o" "gcc" "src/crawler/CMakeFiles/cfnet_crawler.dir/fetch.cc.o.d"
+  "/root/repo/src/crawler/periodic.cc" "src/crawler/CMakeFiles/cfnet_crawler.dir/periodic.cc.o" "gcc" "src/crawler/CMakeFiles/cfnet_crawler.dir/periodic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cfnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/cfnet_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cfnet_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cfnet_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cfnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfnet_crawler.dir/crawler.cc.o"
+  "CMakeFiles/cfnet_crawler.dir/crawler.cc.o.d"
+  "CMakeFiles/cfnet_crawler.dir/fetch.cc.o"
+  "CMakeFiles/cfnet_crawler.dir/fetch.cc.o.d"
+  "CMakeFiles/cfnet_crawler.dir/periodic.cc.o"
+  "CMakeFiles/cfnet_crawler.dir/periodic.cc.o.d"
+  "libcfnet_crawler.a"
+  "libcfnet_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfnet_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

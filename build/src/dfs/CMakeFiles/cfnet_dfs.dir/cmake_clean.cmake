@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfnet_dfs.dir/dfs.cc.o"
+  "CMakeFiles/cfnet_dfs.dir/dfs.cc.o.d"
+  "CMakeFiles/cfnet_dfs.dir/jsonl.cc.o"
+  "CMakeFiles/cfnet_dfs.dir/jsonl.cc.o.d"
+  "libcfnet_dfs.a"
+  "libcfnet_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfnet_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfnet_graph.dir/bipartite_graph.cc.o"
+  "CMakeFiles/cfnet_graph.dir/bipartite_graph.cc.o.d"
+  "CMakeFiles/cfnet_graph.dir/centrality.cc.o"
+  "CMakeFiles/cfnet_graph.dir/centrality.cc.o.d"
+  "CMakeFiles/cfnet_graph.dir/graph_io.cc.o"
+  "CMakeFiles/cfnet_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/cfnet_graph.dir/weighted_graph.cc.o"
+  "CMakeFiles/cfnet_graph.dir/weighted_graph.cc.o.d"
+  "libcfnet_graph.a"
+  "libcfnet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfnet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

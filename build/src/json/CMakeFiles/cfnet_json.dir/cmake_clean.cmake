@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfnet_json.dir/json.cc.o"
+  "CMakeFiles/cfnet_json.dir/json.cc.o.d"
+  "libcfnet_json.a"
+  "libcfnet_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfnet_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/angellist.cc" "src/net/CMakeFiles/cfnet_net.dir/angellist.cc.o" "gcc" "src/net/CMakeFiles/cfnet_net.dir/angellist.cc.o.d"
+  "/root/repo/src/net/crunchbase.cc" "src/net/CMakeFiles/cfnet_net.dir/crunchbase.cc.o" "gcc" "src/net/CMakeFiles/cfnet_net.dir/crunchbase.cc.o.d"
+  "/root/repo/src/net/facebook.cc" "src/net/CMakeFiles/cfnet_net.dir/facebook.cc.o" "gcc" "src/net/CMakeFiles/cfnet_net.dir/facebook.cc.o.d"
+  "/root/repo/src/net/rate_limiter.cc" "src/net/CMakeFiles/cfnet_net.dir/rate_limiter.cc.o" "gcc" "src/net/CMakeFiles/cfnet_net.dir/rate_limiter.cc.o.d"
+  "/root/repo/src/net/service.cc" "src/net/CMakeFiles/cfnet_net.dir/service.cc.o" "gcc" "src/net/CMakeFiles/cfnet_net.dir/service.cc.o.d"
+  "/root/repo/src/net/tokens.cc" "src/net/CMakeFiles/cfnet_net.dir/tokens.cc.o" "gcc" "src/net/CMakeFiles/cfnet_net.dir/tokens.cc.o.d"
+  "/root/repo/src/net/twitter.cc" "src/net/CMakeFiles/cfnet_net.dir/twitter.cc.o" "gcc" "src/net/CMakeFiles/cfnet_net.dir/twitter.cc.o.d"
+  "/root/repo/src/net/urls.cc" "src/net/CMakeFiles/cfnet_net.dir/urls.cc.o" "gcc" "src/net/CMakeFiles/cfnet_net.dir/urls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cfnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cfnet_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cfnet_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfnet_net.dir/angellist.cc.o"
+  "CMakeFiles/cfnet_net.dir/angellist.cc.o.d"
+  "CMakeFiles/cfnet_net.dir/crunchbase.cc.o"
+  "CMakeFiles/cfnet_net.dir/crunchbase.cc.o.d"
+  "CMakeFiles/cfnet_net.dir/facebook.cc.o"
+  "CMakeFiles/cfnet_net.dir/facebook.cc.o.d"
+  "CMakeFiles/cfnet_net.dir/rate_limiter.cc.o"
+  "CMakeFiles/cfnet_net.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/cfnet_net.dir/service.cc.o"
+  "CMakeFiles/cfnet_net.dir/service.cc.o.d"
+  "CMakeFiles/cfnet_net.dir/tokens.cc.o"
+  "CMakeFiles/cfnet_net.dir/tokens.cc.o.d"
+  "CMakeFiles/cfnet_net.dir/twitter.cc.o"
+  "CMakeFiles/cfnet_net.dir/twitter.cc.o.d"
+  "CMakeFiles/cfnet_net.dir/urls.cc.o"
+  "CMakeFiles/cfnet_net.dir/urls.cc.o.d"
+  "libcfnet_net.a"
+  "libcfnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

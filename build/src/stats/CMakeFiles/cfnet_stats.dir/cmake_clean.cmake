@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfnet_stats.dir/inference.cc.o"
+  "CMakeFiles/cfnet_stats.dir/inference.cc.o.d"
+  "CMakeFiles/cfnet_stats.dir/stats.cc.o"
+  "CMakeFiles/cfnet_stats.dir/stats.cc.o.d"
+  "libcfnet_stats.a"
+  "libcfnet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfnet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfnet_synth.dir/world.cc.o"
+  "CMakeFiles/cfnet_synth.dir/world.cc.o.d"
+  "libcfnet_synth.a"
+  "libcfnet_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfnet_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

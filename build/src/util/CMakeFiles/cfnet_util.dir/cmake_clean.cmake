@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfnet_util.dir/crc32.cc.o"
+  "CMakeFiles/cfnet_util.dir/crc32.cc.o.d"
+  "CMakeFiles/cfnet_util.dir/flags.cc.o"
+  "CMakeFiles/cfnet_util.dir/flags.cc.o.d"
+  "CMakeFiles/cfnet_util.dir/logging.cc.o"
+  "CMakeFiles/cfnet_util.dir/logging.cc.o.d"
+  "CMakeFiles/cfnet_util.dir/rng.cc.o"
+  "CMakeFiles/cfnet_util.dir/rng.cc.o.d"
+  "CMakeFiles/cfnet_util.dir/status.cc.o"
+  "CMakeFiles/cfnet_util.dir/status.cc.o.d"
+  "CMakeFiles/cfnet_util.dir/string_util.cc.o"
+  "CMakeFiles/cfnet_util.dir/string_util.cc.o.d"
+  "CMakeFiles/cfnet_util.dir/table.cc.o"
+  "CMakeFiles/cfnet_util.dir/table.cc.o.d"
+  "CMakeFiles/cfnet_util.dir/thread_pool.cc.o"
+  "CMakeFiles/cfnet_util.dir/thread_pool.cc.o.d"
+  "libcfnet_util.a"
+  "libcfnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

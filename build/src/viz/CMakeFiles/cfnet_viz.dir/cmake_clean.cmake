@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfnet_viz.dir/layout.cc.o"
+  "CMakeFiles/cfnet_viz.dir/layout.cc.o.d"
+  "CMakeFiles/cfnet_viz.dir/render.cc.o"
+  "CMakeFiles/cfnet_viz.dir/render.cc.o.d"
+  "libcfnet_viz.a"
+  "libcfnet_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfnet_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_sweep_test.dir/calibration_sweep_test.cc.o"
+  "CMakeFiles/calibration_sweep_test.dir/calibration_sweep_test.cc.o.d"
+  "calibration_sweep_test"
+  "calibration_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawler_test.dir/crawler_test.cc.o"
+  "CMakeFiles/crawler_test.dir/crawler_test.cc.o.d"
+  "crawler_test"
+  "crawler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

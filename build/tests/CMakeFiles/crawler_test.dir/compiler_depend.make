@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crawler_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/records_test.dir/records_test.cc.o"
+  "CMakeFiles/records_test.dir/records_test.cc.o.d"
+  "records_test"
+  "records_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/records_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

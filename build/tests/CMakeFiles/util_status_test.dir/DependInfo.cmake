@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_status_test.cc" "tests/CMakeFiles/util_status_test.dir/util_status_test.cc.o" "gcc" "tests/CMakeFiles/util_status_test.dir/util_status_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cfnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawler/CMakeFiles/cfnet_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cfnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cfnet_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/cfnet_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cfnet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/cfnet_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cfnet_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cfnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/cfnet_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cfnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
