@@ -1,0 +1,77 @@
+#ifndef CFNET_CRAWLER_CHECKPOINT_H_
+#define CFNET_CRAWLER_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crawler/crawler.h"
+#include "dfs/dfs.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cfnet::crawler {
+
+/// Everything a crawler needs to continue after a crash: BFS frontier and
+/// seen sets, per-phase progress cursor, token-pool state, worker clocks,
+/// accumulated report counters, and the per-shard snapshot watermarks used
+/// to roll uncheckpointed appends back (exactly-once records).
+struct CheckpointState {
+  int64_t seq = 0;            // stamped by CheckpointStore::Save
+  std::string phase;          // phase to run / continue (kPhase* constants)
+  int64_t phase_cursor = 0;   // companies already processed within `phase`
+  int64_t bfs_round = 0;
+  std::vector<uint64_t> company_frontier;
+  std::vector<uint64_t> user_frontier;
+  std::vector<uint64_t> seen_companies;  // sorted
+  std::vector<uint64_t> seen_users;      // sorted
+  std::vector<CrawledCompany> companies;
+  std::vector<std::string> twitter_tokens;
+  std::string facebook_token;
+  std::vector<int64_t> worker_clocks;
+  /// Durable record count per snapshot file at checkpoint time.
+  std::map<std::string, int64_t> snapshot_counts;
+  /// Report counters so far (fetch/makespan folded across incarnations).
+  CrawlReport report;
+};
+
+/// Versioned, CRC-validated checkpoint files in MiniDFS. Files are named
+/// `ckpt-<seq>` with monotonically increasing sequence numbers; `Save`
+/// prunes all but the newest `keep`, and `LoadLatestValid` skips files
+/// whose CRC or payload fails validation (a torn write surfaces as a
+/// fallback to the previous checkpoint, not a crash).
+class CheckpointStore {
+ public:
+  CheckpointStore(dfs::MiniDfs* dfs, std::string dir, int keep = 2);
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  /// Stamps `state->seq`, writes the checkpoint, prunes old ones.
+  Status Save(CheckpointState* state);
+
+  /// Newest checkpoint that passes CRC + parse validation; NotFound when
+  /// none exists (or none is valid).
+  Result<CheckpointState> LoadLatestValid() const;
+
+  /// Checkpoint file paths, oldest first.
+  std::vector<std::string> ListFiles() const;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Wire format: "CFNETCKPT1 <crc32-hex> <payload-bytes>\n<payload JSON>".
+  static std::string Serialize(const CheckpointState& state);
+  static Result<CheckpointState> Deserialize(std::string_view file_contents);
+
+ private:
+  dfs::MiniDfs* dfs_;
+  std::string dir_;  // normalized to end with '/'
+  int keep_;
+  int64_t next_seq_ = 1;
+};
+
+}  // namespace cfnet::crawler
+
+#endif  // CFNET_CRAWLER_CHECKPOINT_H_

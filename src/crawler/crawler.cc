@@ -1,9 +1,12 @@
 #include "crawler/crawler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <mutex>
+#include <set>
+#include <unordered_map>
 
+#include "crawler/checkpoint.h"
 #include "dfs/jsonl.h"
 #include "net/urls.h"
 #include "util/logging.h"
@@ -11,6 +14,21 @@
 #include "util/thread_pool.h"
 
 namespace cfnet::crawler {
+
+namespace {
+/// Canonical phase order; RunFrom indexes into this.
+constexpr std::string_view kPhaseOrder[] = {kPhaseBfs, kPhaseCrunchBase,
+                                            kPhaseFacebook, kPhaseTwitter,
+                                            kPhaseDone};
+constexpr size_t kNumRunPhases = 4;  // all but kPhaseDone
+
+size_t PhaseIndex(std::string_view phase) {
+  for (size_t i = 0; i < std::size(kPhaseOrder); ++i) {
+    if (kPhaseOrder[i] == phase) return i;
+  }
+  return 0;  // unknown phase in a checkpoint: restart the pipeline safely
+}
+}  // namespace
 
 /// Per-worker state: virtual clock, fetch counters, token rotation state and
 /// snapshot writers. Workers never share mutable state during a stage.
@@ -21,7 +39,9 @@ class Crawler::Shard {
 
   int worker_id() const { return worker_id_; }
   int64_t& clock() { return clock_micros_; }
+  int64_t clock() const { return clock_micros_; }
   FetchCounters& counters() { return counters_; }
+  const FetchCounters& counters() const { return counters_; }
   TokenPool& twitter_tokens() { return twitter_tokens_; }
   std::string& facebook_token() { return facebook_token_; }
 
@@ -48,6 +68,11 @@ class Crawler::Shard {
     return Status::OK();
   }
 
+  const std::unordered_map<std::string, std::unique_ptr<dfs::JsonLinesWriter>>&
+  writers() const {
+    return writers_;
+  }
+
   /// Per-stage discovery buffers (merged by the coordinator).
   std::vector<uint64_t> found_companies;
   std::vector<uint64_t> found_users;
@@ -67,10 +92,17 @@ class Crawler::Shard {
 Crawler::~Crawler() = default;
 
 Crawler::Crawler(net::SocialWeb* web, dfs::MiniDfs* dfs, CrawlConfig config)
-    : web_(web), dfs_(dfs), config_(config) {
+    : web_(web), dfs_(dfs), config_(std::move(config)) {
   config_.num_workers = std::max(1, config_.num_workers);
   for (int w = 0; w < config_.num_workers; ++w) {
     shards_.push_back(std::make_unique<Shard>(w, dfs_, config_));
+  }
+  crunchbase_breaker_ = std::make_unique<CircuitBreaker>(config_.breaker);
+  facebook_breaker_ = std::make_unique<CircuitBreaker>(config_.breaker);
+  twitter_breaker_ = std::make_unique<CircuitBreaker>(config_.breaker);
+  if (config_.checkpointing) {
+    checkpoints_ = std::make_unique<CheckpointStore>(
+        dfs_, config_.checkpoint_dir, config_.checkpoints_to_keep);
   }
 }
 
@@ -89,20 +121,39 @@ void Crawler::RunStriped(size_t n,
   for (auto& f : futures) f.get();
 }
 
-void Crawler::MergeCounters() {
-  FetchCounters total;
-  int64_t makespan = 0;
-  for (auto& shard : shards_) {
-    total.requests += shard->counters().requests;
-    total.retries += shard->counters().retries;
-    total.rate_limit_waits += shard->counters().rate_limit_waits;
-    total.token_rotations += shard->counters().token_rotations;
-    total.failures += shard->counters().failures;
-    makespan = std::max(makespan, shard->clock());
+FetchCounters Crawler::SumShardCounters() const {
+  FetchCounters total = fetch_base_;
+  for (const auto& shard : shards_) {
+    total += static_cast<const Shard&>(*shard).counters();
   }
-  report_.fetch = total;
-  report_.makespan_micros = makespan;
-  web_->clock().AdvanceTo(makespan);
+  return total;
+}
+
+int64_t Crawler::MaxShardClock() const {
+  int64_t makespan = 0;
+  for (const auto& shard : shards_) {
+    makespan = std::max(makespan, static_cast<const Shard&>(*shard).clock());
+  }
+  return makespan;
+}
+
+int64_t Crawler::SumBreakerTrips() const {
+  return breaker_trips_base_ + crunchbase_breaker_->trips() +
+         facebook_breaker_->trips() + twitter_breaker_->trips();
+}
+
+void Crawler::MergeCounters() {
+  report_.fetch = SumShardCounters();
+  report_.makespan_micros = MaxShardClock();
+  report_.breaker_trips = SumBreakerTrips();
+  web_->clock().AdvanceTo(report_.makespan_micros);
+}
+
+Status Crawler::FlushAllShards() {
+  for (auto& shard : shards_) {
+    CFNET_RETURN_IF_ERROR(shard->FlushSnapshots());
+  }
+  return Status::OK();
 }
 
 Status Crawler::SetUpTokens() {
@@ -154,16 +205,137 @@ Status Crawler::SetUpTokens() {
   return Status::OK();
 }
 
-Status Crawler::Run() {
-  auto start = std::chrono::steady_clock::now();
-  CFNET_RETURN_IF_ERROR(SetUpTokens());
-  CFNET_RETURN_IF_ERROR(RunAngelListBfs());
-  CFNET_RETURN_IF_ERROR(RunCrunchBaseAugmentation());
-  CFNET_RETURN_IF_ERROR(RunFacebookCrawl());
-  CFNET_RETURN_IF_ERROR(RunTwitterCrawl());
-  for (auto& shard : shards_) {
-    CFNET_RETURN_IF_ERROR(shard->FlushSnapshots());
+// --- checkpointing ----------------------------------------------------------
+
+Status Crawler::SaveCheckpoint(std::string_view phase, size_t cursor) {
+  if (checkpoints_ == nullptr) return Status::OK();
+  // Flush first so the recorded snapshot watermarks are durable: a crash
+  // after this point loses at most records *beyond* the counts, which
+  // Resume() rolls back.
+  CFNET_RETURN_IF_ERROR(FlushAllShards());
+
+  CheckpointState st;
+  st.phase = std::string(phase);
+  st.phase_cursor = static_cast<int64_t>(cursor);
+  st.bfs_round = bfs_round_;
+  st.company_frontier = company_frontier_;
+  st.user_frontier = user_frontier_;
+  st.seen_companies.assign(seen_companies_.begin(), seen_companies_.end());
+  std::sort(st.seen_companies.begin(), st.seen_companies.end());
+  st.seen_users.assign(seen_users_.begin(), seen_users_.end());
+  std::sort(st.seen_users.begin(), st.seen_users.end());
+  st.companies = companies_;
+  st.twitter_tokens = twitter_tokens_;
+  st.facebook_token = facebook_token_;
+  for (const auto& shard : shards_) {
+    st.worker_clocks.push_back(static_cast<const Shard&>(*shard).clock());
   }
+  st.snapshot_counts = snapshot_base_counts_;
+  for (const auto& shard : shards_) {
+    for (const auto& [dir, writer] :
+         static_cast<const Shard&>(*shard).writers()) {
+      auto base = snapshot_base_counts_.find(writer->path());
+      st.snapshot_counts[writer->path()] =
+          (base == snapshot_base_counts_.end() ? 0 : base->second) +
+          static_cast<int64_t>(writer->records_written());
+    }
+  }
+  st.report = report_;
+  st.report.fetch = SumShardCounters();
+  st.report.makespan_micros = MaxShardClock();
+  st.report.breaker_trips = SumBreakerTrips();
+  st.report.checkpoint_writes = report_.checkpoint_writes + 1;
+
+  CFNET_RETURN_IF_ERROR(checkpoints_->Save(&st));
+  ++report_.checkpoint_writes;
+  return Status::OK();
+}
+
+Status Crawler::RestoreFromCheckpoint(const CheckpointState& st) {
+  seen_companies_.clear();
+  seen_companies_.insert(st.seen_companies.begin(), st.seen_companies.end());
+  seen_users_.clear();
+  seen_users_.insert(st.seen_users.begin(), st.seen_users.end());
+  companies_ = st.companies;
+  company_frontier_ = st.company_frontier;
+  user_frontier_ = st.user_frontier;
+  bfs_round_ = st.bfs_round;
+  bfs_seeded_ = true;
+  twitter_tokens_ = st.twitter_tokens;
+  facebook_token_ = st.facebook_token;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    if (!twitter_tokens_.empty()) shard.SetTwitterTokens(twitter_tokens_);
+    shard.facebook_token() = facebook_token_;
+    // A resumed crawl with a different worker count continues everyone from
+    // the crawl's frontier time instead of replaying per-worker clocks.
+    if (st.worker_clocks.size() == shards_.size()) {
+      shard.clock() = st.worker_clocks[i];
+    } else if (!st.worker_clocks.empty()) {
+      shard.clock() =
+          *std::max_element(st.worker_clocks.begin(), st.worker_clocks.end());
+    }
+  }
+  report_ = st.report;
+  report_.wall_seconds = 0;
+  fetch_base_ = st.report.fetch;
+  breaker_trips_base_ = st.report.breaker_trips;
+  snapshot_base_counts_ = st.snapshot_counts;
+
+  // Exactly-once snapshot records: roll every shard file back to its
+  // checkpointed watermark and drop files born after the checkpoint.
+  for (const std::string& path : dfs_->List(config_.snapshot_dir)) {
+    if (StartsWith(path, checkpoints_->dir())) continue;
+    auto it = snapshot_base_counts_.find(path);
+    if (it == snapshot_base_counts_.end()) {
+      CFNET_RETURN_IF_ERROR(dfs_->Delete(path));
+    } else {
+      CFNET_RETURN_IF_ERROR(dfs::TruncateJsonLines(dfs_, path, it->second));
+    }
+  }
+  ++report_.checkpoint_restores;
+  return Status::OK();
+}
+
+// --- pipeline drivers -------------------------------------------------------
+
+Status Crawler::Run() {
+  CFNET_RETURN_IF_ERROR(SetUpTokens());
+  return RunFrom(0, 0);
+}
+
+Status Crawler::Resume() {
+  if (checkpoints_ == nullptr) return Run();
+  auto loaded = checkpoints_->LoadLatestValid();
+  if (!loaded.ok()) return Run();  // nothing (valid) to resume from
+  CheckpointState st = std::move(loaded).value();
+  CFNET_RETURN_IF_ERROR(RestoreFromCheckpoint(st));
+  return RunFrom(PhaseIndex(st.phase), static_cast<size_t>(st.phase_cursor));
+}
+
+Status Crawler::AfterPhase(std::string_view completed, std::string_view next) {
+  CFNET_RETURN_IF_ERROR(SaveCheckpoint(next, 0));
+  if (!config_.crash_after_phase.empty() &&
+      config_.crash_after_phase == completed) {
+    return Status::Aborted("simulated crash after phase " +
+                           std::string(completed));
+  }
+  return Status::OK();
+}
+
+Status Crawler::RunFrom(size_t phase_idx, size_t cursor) {
+  auto start = std::chrono::steady_clock::now();
+  for (size_t idx = phase_idx; idx < kNumRunPhases; ++idx) {
+    std::string_view phase = kPhaseOrder[idx];
+    if (phase == kPhaseBfs) {
+      CFNET_RETURN_IF_ERROR(RunAngelListBfs());
+    } else {
+      CFNET_RETURN_IF_ERROR(RunPhase(phase, cursor));
+    }
+    cursor = 0;
+    CFNET_RETURN_IF_ERROR(AfterPhase(phase, kPhaseOrder[idx + 1]));
+  }
+  CFNET_RETURN_IF_ERROR(FlushAllShards());
   MergeCounters();
   report_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -174,9 +346,10 @@ Status Crawler::Run() {
 Status Crawler::RunAngelListBfs() {
   net::AngelListService* al = &web_->angellist();
 
-  // Seed: every page of the "currently raising" listing.
-  std::vector<uint64_t> company_frontier;
-  {
+  // Seed: every page of the "currently raising" listing (skipped when a
+  // checkpoint already restored a live frontier).
+  if (!bfs_seeded_) {
+    bfs_seeded_ = true;
     Shard& shard = *shards_[0];
     net::ApiResponse resp = FetchAllPages(
         al,
@@ -189,7 +362,7 @@ Status Crawler::RunAngelListBfs() {
           for (const json::Json& s : body.Get("startups").array()) {
             uint64_t id = static_cast<uint64_t>(s.Get("id").AsInt());
             if (seen_companies_.insert(id).second) {
-              company_frontier.push_back(id);
+              company_frontier_.push_back(id);
             }
           }
         });
@@ -199,17 +372,17 @@ Status Crawler::RunAngelListBfs() {
     }
   }
 
-  std::vector<uint64_t> user_frontier;
   std::mutex companies_mu;
 
-  int round = 0;
-  while (!company_frontier.empty() || !user_frontier.empty()) {
-    if (config_.max_bfs_rounds > 0 && round >= config_.max_bfs_rounds) break;
-    ++round;
+  while (!company_frontier_.empty() || !user_frontier_.empty()) {
+    if (config_.max_bfs_rounds > 0 && bfs_round_ >= config_.max_bfs_rounds) {
+      break;
+    }
+    ++bfs_round_;
 
     // --- Stage A: fetch company profiles + their followers. -------------
-    RunStriped(company_frontier.size(), [&](size_t i, Shard& shard) {
-      uint64_t cid = company_frontier[i];
+    RunStriped(company_frontier_.size(), [&](size_t i, Shard& shard) {
+      uint64_t cid = company_frontier_[i];
       net::ApiResponse profile = FetchWithRetry(
           al,
           net::ApiRequest("startups.get", {{"id", std::to_string(cid)}}),
@@ -244,8 +417,8 @@ Status Crawler::RunAngelListBfs() {
     });
 
     // --- Stage B: fetch user profiles + everything they follow. ----------
-    RunStriped(user_frontier.size(), [&](size_t i, Shard& shard) {
-      uint64_t uid = user_frontier[i];
+    RunStriped(user_frontier_.size(), [&](size_t i, Shard& shard) {
+      uint64_t uid = user_frontier_[i];
       net::ApiResponse profile = FetchWithRetry(
           al, net::ApiRequest("users.get", {{"id", std::to_string(uid)}}),
           nullptr, config_.fetch, &shard.clock(), &shard.counters());
@@ -289,24 +462,36 @@ Status Crawler::RunAngelListBfs() {
     });
 
     // --- Merge discoveries into the next frontiers. ----------------------
-    company_frontier.clear();
-    user_frontier.clear();
+    company_frontier_.clear();
+    user_frontier_.clear();
     for (auto& shard : shards_) {
       for (uint64_t cid : shard->found_companies) {
-        if (seen_companies_.insert(cid).second) company_frontier.push_back(cid);
+        if (seen_companies_.insert(cid).second) {
+          company_frontier_.push_back(cid);
+        }
       }
       for (uint64_t uid : shard->found_users) {
-        if (seen_users_.insert(uid).second) user_frontier.push_back(uid);
+        if (seen_users_.insert(uid).second) user_frontier_.push_back(uid);
       }
       shard->found_companies.clear();
       shard->found_users.clear();
     }
     // Deterministic processing order regardless of worker interleaving.
-    std::sort(company_frontier.begin(), company_frontier.end());
-    std::sort(user_frontier.begin(), user_frontier.end());
+    std::sort(company_frontier_.begin(), company_frontier_.end());
+    std::sort(user_frontier_.begin(), user_frontier_.end());
+
+    if (config_.checkpoint_every_rounds > 0 &&
+        bfs_round_ % config_.checkpoint_every_rounds == 0) {
+      CFNET_RETURN_IF_ERROR(SaveCheckpoint(kPhaseBfs, 0));
+    }
+    if (config_.crash_after_bfs_rounds > 0 &&
+        bfs_round_ >= config_.crash_after_bfs_rounds) {
+      return Status::Aborted("simulated crash after BFS round " +
+                             std::to_string(bfs_round_));
+    }
   }
 
-  report_.bfs_rounds = round;
+  report_.bfs_rounds = bfs_round_;
   report_.companies_crawled = static_cast<int64_t>(companies_.size());
   report_.users_crawled = static_cast<int64_t>(seen_users_.size());
   // Stable order for the augmentation phases.
@@ -317,112 +502,232 @@ Status Crawler::RunAngelListBfs() {
   return Status::OK();
 }
 
-Status Crawler::RunCrunchBaseAugmentation() {
+// --- augmentation phases ----------------------------------------------------
+
+CircuitBreaker* Crawler::BreakerFor(std::string_view phase) {
+  if (phase == kPhaseCrunchBase) return crunchbase_breaker_.get();
+  if (phase == kPhaseFacebook) return facebook_breaker_.get();
+  if (phase == kPhaseTwitter) return twitter_breaker_.get();
+  return nullptr;
+}
+
+Crawler::ProcessFn Crawler::ProcessFor(std::string_view phase) const {
+  if (phase == kPhaseCrunchBase) return &Crawler::ProcessCrunchBase;
+  if (phase == kPhaseFacebook) return &Crawler::ProcessFacebook;
+  if (phase == kPhaseTwitter) return &Crawler::ProcessTwitter;
+  return nullptr;
+}
+
+Status Crawler::DeadLetter(Shard& shard, std::string_view phase, uint64_t id,
+                           std::string_view reason) {
+  json::Json record = json::Json::MakeObject();
+  record.Set("id", static_cast<int64_t>(id));
+  record.Set("phase", phase);
+  record.Set("reason", reason);
+  return shard.Snapshot(DeadLetterDir(phase), record);
+}
+
+Status Crawler::RunPhase(std::string_view phase, size_t start_cursor) {
+  CircuitBreaker* breaker = BreakerFor(phase);
+  ProcessFn process = ProcessFor(phase);
+  if (breaker == nullptr || process == nullptr) {
+    return Status::InvalidArgument("unknown phase: " + std::string(phase));
+  }
+  const size_t n = companies_.size();
+  const size_t chunk =
+      config_.checkpoint_chunk > 0 ? static_cast<size_t>(config_.checkpoint_chunk) : n;
+  const int64_t trips_before = breaker->trips();
+  std::atomic<int64_t> dead{0};
+
+  size_t cursor = std::min(start_cursor, n);
+  while (cursor < n) {
+    const size_t end = std::min(n, cursor + std::max<size_t>(1, chunk));
+    RunStriped(end - cursor, [&](size_t i, Shard& shard) {
+      const CrawledCompany& cc = companies_[cursor + i];
+      // Degraded: the source burned through its breaker budget — stop
+      // hammering it and queue the remainder for later replay.
+      if (breaker->trips() - trips_before > config_.breaker_trip_budget) {
+        DeadLetter(shard, phase, cc.id, "degraded").ok();
+        dead.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if ((this->*process)(cc, shard) == ItemOutcome::kFailed) {
+        DeadLetter(shard, phase, cc.id, "failed").ok();
+        dead.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    cursor = end;
+    if (cursor < n) {
+      CFNET_RETURN_IF_ERROR(SaveCheckpoint(phase, cursor));
+    }
+  }
+
+  const int64_t trips = breaker->trips() - trips_before;
+  report_.dead_lettered_ids += dead.load();
+  if (trips > config_.breaker_trip_budget) {
+    report_.degraded_phases.push_back(
+        {std::string(phase), trips, dead.load(),
+         "circuit breaker trip budget exceeded"});
+  }
+  return Status::OK();
+}
+
+Crawler::ItemOutcome Crawler::ProcessCrunchBase(const CrawledCompany& cc,
+                                                Shard& shard) {
   net::CrunchBaseService* cb = &web_->crunchbase();
-  std::atomic<int64_t> by_url{0};
-  std::atomic<int64_t> by_search{0};
-  std::atomic<int64_t> ambiguous{0};
-  std::atomic<int64_t> backlink_mismatch{0};
-  std::atomic<int64_t> misses{0};
-  std::atomic<int64_t> found{0};
-
-  RunStriped(companies_.size(), [&](size_t i, Shard& shard) {
-    const CrawledCompany& cc = companies_[i];
-    std::string permalink;
-    bool via_url = false;
-    if (!cc.crunchbase_url.empty()) {
-      permalink = std::string(LastUrlSegment(cc.crunchbase_url));
-      via_url = true;
-    } else {
-      // Name search; only a unique hit may be associated (§3).
-      net::ApiResponse search = FetchWithRetry(
-          cb, net::ApiRequest("organizations.search", {{"name", cc.name}}),
-          nullptr, config_.fetch, &shard.clock(), &shard.counters());
-      if (!search.ok()) return;
-      const auto& results = search.body.Get("results").array();
-      if (results.empty()) {
-        misses.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-      if (results.size() > 1) {
-        ambiguous.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-      permalink = results[0].Get("permalink").AsString();
+  std::string permalink;
+  bool via_url = false;
+  if (!cc.crunchbase_url.empty()) {
+    permalink = std::string(LastUrlSegment(cc.crunchbase_url));
+    via_url = true;
+  } else {
+    // Name search; only a unique hit may be associated (§3).
+    net::ApiResponse search = FetchWithRetry(
+        cb, net::ApiRequest("organizations.search", {{"name", cc.name}}),
+        nullptr, config_.fetch, &shard.clock(), &shard.counters(),
+        crunchbase_breaker_.get());
+    if (!search.ok()) return ItemOutcome::kFailed;
+    const auto& results = search.body.Get("results").array();
+    if (results.empty()) {
+      std::lock_guard<std::mutex> lock(report_mu_);
+      ++report_.crunchbase_misses;
+      return ItemOutcome::kSkipped;
     }
-    net::ApiResponse org = FetchWithRetry(
-        cb, net::ApiRequest("organizations.get", {{"permalink", permalink}}),
-        nullptr, config_.fetch, &shard.clock(), &shard.counters());
-    if (org.status == 404) {
-      misses.fetch_add(1, std::memory_order_relaxed);
-      return;
+    if (results.size() > 1) {
+      std::lock_guard<std::mutex> lock(report_mu_);
+      ++report_.crunchbase_ambiguous_skipped;
+      return ItemOutcome::kSkipped;
     }
-    if (!org.ok()) return;
-    // CrunchBase links back to AngelList for every dual-listed company
-    // (§2); a name-search hit whose backlink points at a different startup
-    // is a false match (shared names) and must be dropped.
-    const std::string& backlink = org.body.Get("angellist_url").AsString();
-    if (!backlink.empty() &&
-        backlink != net::AngelListCompanyUrl(cc.id)) {
-      backlink_mismatch.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    (via_url ? by_url : by_search).fetch_add(1, std::memory_order_relaxed);
-    found.fetch_add(1, std::memory_order_relaxed);
-    json::Json record = org.body;
-    record.Set("angellist_id", static_cast<int64_t>(cc.id));
-    shard.Snapshot(CrunchBaseSnapshotDir(), record).ok();
-  });
-
-  report_.crunchbase_profiles = found.load();
-  report_.crunchbase_matched_by_url = by_url.load();
-  report_.crunchbase_matched_by_search = by_search.load();
-  report_.crunchbase_ambiguous_skipped = ambiguous.load();
-  report_.crunchbase_backlink_mismatches = backlink_mismatch.load();
-  report_.crunchbase_misses = misses.load();
-  return Status::OK();
+    permalink = results[0].Get("permalink").AsString();
+  }
+  net::ApiResponse org = FetchWithRetry(
+      cb, net::ApiRequest("organizations.get", {{"permalink", permalink}}),
+      nullptr, config_.fetch, &shard.clock(), &shard.counters(),
+      crunchbase_breaker_.get());
+  if (org.status == 404) {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    ++report_.crunchbase_misses;
+    return ItemOutcome::kSkipped;
+  }
+  if (!org.ok()) return ItemOutcome::kFailed;
+  // CrunchBase links back to AngelList for every dual-listed company
+  // (§2); a name-search hit whose backlink points at a different startup
+  // is a false match (shared names) and must be dropped.
+  const std::string& backlink = org.body.Get("angellist_url").AsString();
+  if (!backlink.empty() && backlink != net::AngelListCompanyUrl(cc.id)) {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    ++report_.crunchbase_backlink_mismatches;
+    return ItemOutcome::kSkipped;
+  }
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    ++(via_url ? report_.crunchbase_matched_by_url
+               : report_.crunchbase_matched_by_search);
+    ++report_.crunchbase_profiles;
+  }
+  json::Json record = org.body;
+  record.Set("angellist_id", static_cast<int64_t>(cc.id));
+  shard.Snapshot(CrunchBaseSnapshotDir(), record).ok();
+  return ItemOutcome::kOk;
 }
 
-Status Crawler::RunFacebookCrawl() {
-  net::FacebookService* fb = &web_->facebook();
-  std::atomic<int64_t> found{0};
-  RunStriped(companies_.size(), [&](size_t i, Shard& shard) {
-    const CrawledCompany& cc = companies_[i];
-    if (cc.facebook_url.empty()) return;
-    std::string page_id(LastUrlSegment(cc.facebook_url));
-    net::ApiRequest req("page.get", {{"page_id", page_id}});
-    req.access_token = shard.facebook_token();
-    net::ApiResponse resp = FetchWithRetry(fb, std::move(req), nullptr,
-                                           config_.fetch, &shard.clock(),
-                                           &shard.counters());
-    if (!resp.ok()) return;
-    found.fetch_add(1, std::memory_order_relaxed);
-    json::Json record = resp.body;
-    record.Set("angellist_id", static_cast<int64_t>(cc.id));
-    shard.Snapshot(FacebookSnapshotDir(), record).ok();
-  });
-  report_.facebook_profiles = found.load();
-  return Status::OK();
+Crawler::ItemOutcome Crawler::ProcessFacebook(const CrawledCompany& cc,
+                                              Shard& shard) {
+  if (cc.facebook_url.empty()) return ItemOutcome::kSkipped;
+  std::string page_id(LastUrlSegment(cc.facebook_url));
+  net::ApiRequest req("page.get", {{"page_id", page_id}});
+  req.access_token = shard.facebook_token();
+  net::ApiResponse resp = FetchWithRetry(
+      &web_->facebook(), std::move(req), nullptr, config_.fetch,
+      &shard.clock(), &shard.counters(), facebook_breaker_.get());
+  if (resp.status == 404) return ItemOutcome::kSkipped;
+  if (!resp.ok()) return ItemOutcome::kFailed;
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    ++report_.facebook_profiles;
+  }
+  json::Json record = resp.body;
+  record.Set("angellist_id", static_cast<int64_t>(cc.id));
+  shard.Snapshot(FacebookSnapshotDir(), record).ok();
+  return ItemOutcome::kOk;
 }
 
-Status Crawler::RunTwitterCrawl() {
-  net::TwitterService* tw = &web_->twitter();
-  std::atomic<int64_t> found{0};
-  RunStriped(companies_.size(), [&](size_t i, Shard& shard) {
-    const CrawledCompany& cc = companies_[i];
-    if (cc.twitter_url.empty()) return;
-    std::string screen_name(LastUrlSegment(cc.twitter_url));
-    net::ApiResponse resp = FetchWithRetry(
-        tw, net::ApiRequest("users.show", {{"screen_name", screen_name}}),
-        &shard.twitter_tokens(), config_.fetch, &shard.clock(),
-        &shard.counters());
-    if (!resp.ok()) return;
-    found.fetch_add(1, std::memory_order_relaxed);
-    json::Json record = resp.body;
-    record.Set("angellist_id", static_cast<int64_t>(cc.id));
-    shard.Snapshot(TwitterSnapshotDir(), record).ok();
-  });
-  report_.twitter_profiles = found.load();
+Crawler::ItemOutcome Crawler::ProcessTwitter(const CrawledCompany& cc,
+                                             Shard& shard) {
+  if (cc.twitter_url.empty()) return ItemOutcome::kSkipped;
+  std::string screen_name(LastUrlSegment(cc.twitter_url));
+  net::ApiResponse resp = FetchWithRetry(
+      &web_->twitter(),
+      net::ApiRequest("users.show", {{"screen_name", screen_name}}),
+      &shard.twitter_tokens(), config_.fetch, &shard.clock(),
+      &shard.counters(), twitter_breaker_.get());
+  if (resp.status == 404) return ItemOutcome::kSkipped;
+  if (!resp.ok()) return ItemOutcome::kFailed;
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    ++report_.twitter_profiles;
+  }
+  json::Json record = resp.body;
+  record.Set("angellist_id", static_cast<int64_t>(cc.id));
+  shard.Snapshot(TwitterSnapshotDir(), record).ok();
+  return ItemOutcome::kOk;
+}
+
+Status Crawler::RunCrunchBaseAugmentation() {
+  return RunPhase(kPhaseCrunchBase, 0);
+}
+
+Status Crawler::RunFacebookCrawl() { return RunPhase(kPhaseFacebook, 0); }
+
+Status Crawler::RunTwitterCrawl() { return RunPhase(kPhaseTwitter, 0); }
+
+// --- dead-letter replay -----------------------------------------------------
+
+Status Crawler::ReplayDeadLetters() {
+  std::unordered_map<uint64_t, size_t> index;
+  for (size_t i = 0; i < companies_.size(); ++i) {
+    index.emplace(companies_[i].id, i);
+  }
+  for (std::string_view phase :
+       {kPhaseCrunchBase, kPhaseFacebook, kPhaseTwitter}) {
+    const std::string dir = DeadLetterDir(phase);
+    std::vector<std::string> files = dfs_->List(dir);
+    if (files.empty()) continue;
+    std::set<uint64_t> ids;  // dedup + deterministic replay order
+    for (const std::string& f : files) {
+      auto records = dfs::ReadJsonLines(*dfs_, f);
+      if (!records.ok()) return records.status();
+      for (const json::Json& r : *records) {
+        ids.insert(static_cast<uint64_t>(r.Get("id").AsInt()));
+      }
+      CFNET_RETURN_IF_ERROR(dfs_->Delete(f));
+      snapshot_base_counts_.erase(f);
+    }
+    std::vector<size_t> targets;
+    for (uint64_t id : ids) {
+      auto it = index.find(id);
+      if (it != index.end()) targets.push_back(it->second);
+    }
+    // The incident this log accumulated under is presumed over.
+    BreakerFor(phase)->Reset();
+    ProcessFn process = ProcessFor(phase);
+    std::atomic<int64_t> replayed{0};
+    std::atomic<int64_t> re_dead{0};
+    RunStriped(targets.size(), [&](size_t i, Shard& shard) {
+      const CrawledCompany& cc = companies_[targets[i]];
+      if ((this->*process)(cc, shard) == ItemOutcome::kFailed) {
+        DeadLetter(shard, phase, cc.id, "replay-failed").ok();
+        re_dead.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        replayed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    report_.dead_letters_replayed += replayed.load();
+    report_.dead_lettered_ids += re_dead.load();
+  }
+  CFNET_RETURN_IF_ERROR(FlushAllShards());
+  CFNET_RETURN_IF_ERROR(SaveCheckpoint(kPhaseDone, 0));
+  MergeCounters();
   return Status::OK();
 }
 

@@ -2,8 +2,12 @@
 #define CFNET_CRAWLER_CRAWLER_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -14,6 +18,17 @@
 #include "util/status.h"
 
 namespace cfnet::crawler {
+
+struct CheckpointState;
+class CheckpointStore;
+
+/// Pipeline phase names, in execution order. They key checkpoints,
+/// dead-letter directories and degradation reports.
+inline constexpr std::string_view kPhaseBfs = "bfs";
+inline constexpr std::string_view kPhaseCrunchBase = "crunchbase";
+inline constexpr std::string_view kPhaseFacebook = "facebook";
+inline constexpr std::string_view kPhaseTwitter = "twitter";
+inline constexpr std::string_view kPhaseDone = "done";
 
 /// Crawl pipeline configuration.
 struct CrawlConfig {
@@ -31,6 +46,44 @@ struct CrawlConfig {
   /// Safety valve for tests: stop the BFS after this many rounds (0 = run
   /// until the frontier is exhausted, as the paper does).
   int max_bfs_rounds = 0;
+
+  // --- fault tolerance ----------------------------------------------------
+  /// Per-service circuit breaker tuning (one breaker per augmentation
+  /// source, shared by all workers).
+  CircuitBreakerConfig breaker;
+  /// Breaker trips an augmentation phase may absorb before the phase
+  /// degrades: remaining entities go straight to the dead-letter log and
+  /// the crawl continues without the source.
+  int breaker_trip_budget = 2;
+
+  // --- crash-safe checkpointing -------------------------------------------
+  /// Periodically persist crawl state (frontier, seen sets, cursors, token
+  /// pool, snapshot watermarks) to versioned CRC-validated files so
+  /// `Resume()` can continue after a crash without re-fetching done work.
+  bool checkpointing = true;
+  /// Kept outside `snapshot_dir` so disabling snapshots does not disable
+  /// durability metadata.
+  std::string checkpoint_dir = "/checkpoints";
+  int checkpoint_every_rounds = 1;  // BFS rounds between checkpoints
+  int checkpoint_chunk = 1024;      // augmentation items between checkpoints
+  int checkpoints_to_keep = 2;
+
+  // --- crash simulation (fault-injection tests) ---------------------------
+  /// Abort the crawl mid-BFS after this many rounds (0 = never).
+  int crash_after_bfs_rounds = 0;
+  /// Abort right after this phase completes (and checkpoints), e.g.
+  /// "crunchbase"; empty = never.
+  std::string crash_after_phase;
+};
+
+/// One augmentation source that was given up on: its circuit breaker
+/// exceeded the trip budget, so the phase was skipped past that point
+/// instead of failing the whole crawl.
+struct DegradedReport {
+  std::string phase;
+  int64_t breaker_trips = 0;
+  int64_t dead_lettered = 0;
+  std::string reason;
 };
 
 /// Aggregated crawl outcome.
@@ -53,6 +106,14 @@ struct CrawlReport {
   FetchCounters fetch;           // summed over workers
   int64_t makespan_micros = 0;   // simulated (max worker clock)
   double wall_seconds = 0;       // real time spent crawling
+
+  // Fault-tolerance counters.
+  int64_t breaker_trips = 0;
+  int64_t checkpoint_writes = 0;
+  int64_t checkpoint_restores = 0;
+  int64_t dead_lettered_ids = 0;
+  int64_t dead_letters_replayed = 0;
+  std::vector<DegradedReport> degraded_phases;
 };
 
 /// Minimal in-memory record kept per crawled company, feeding the
@@ -79,6 +140,15 @@ struct CrawledCompany {
 ///
 /// Snapshots are written to MiniDFS as JSON-lines, one directory per
 /// source, sharded per worker.
+///
+/// Fault tolerance: the crawler checkpoints its full state to MiniDFS at
+/// BFS-round and augmentation-chunk boundaries; `Resume()` restores the
+/// latest CRC-valid checkpoint, truncates snapshot shards back to the
+/// checkpointed watermarks (exactly-once records), and continues. Each
+/// augmentation source sits behind a circuit breaker; a source that trips
+/// past `breaker_trip_budget` degrades gracefully — its remaining entities
+/// are dead-lettered for later `ReplayDeadLetters()` instead of failing the
+/// crawl.
 class Crawler {
  public:
   Crawler(net::SocialWeb* web, dfs::MiniDfs* dfs, CrawlConfig config);
@@ -87,8 +157,19 @@ class Crawler {
   Crawler(const Crawler&) = delete;
   Crawler& operator=(const Crawler&) = delete;
 
-  /// Runs all four phases.
+  /// Runs all four phases from scratch.
   Status Run();
+
+  /// Restores the latest valid checkpoint and continues the crawl from
+  /// there (falling back to a fresh `Run()` when no checkpoint exists).
+  /// Records written after the restored checkpoint are discarded before
+  /// re-crawling, so snapshot shards never carry duplicates.
+  Status Resume();
+
+  /// Re-attempts every dead-lettered entity (after the faults that caused
+  /// them cleared), removing replayed entries from the log. Safe to call
+  /// repeatedly until the log drains.
+  Status ReplayDeadLetters();
 
   /// Individual phases (Run calls these in order; exposed for tests and
   /// partial pipelines). RunAngelListBfs must come first.
@@ -108,9 +189,21 @@ class Crawler {
   std::string CrunchBaseSnapshotDir() const { return config_.snapshot_dir + "/crunchbase/"; }
   std::string FacebookSnapshotDir() const { return config_.snapshot_dir + "/facebook/"; }
   std::string TwitterSnapshotDir() const { return config_.snapshot_dir + "/twitter/"; }
+  /// Dead-letter log for one augmentation phase (JSON-lines of
+  /// {id, phase, reason}, sharded per worker).
+  std::string DeadLetterDir(std::string_view phase) const {
+    return config_.snapshot_dir + "/deadletter/" + std::string(phase) + "/";
+  }
+
+  /// Per-service circuit breakers (for tests and operators).
+  const CircuitBreaker& crunchbase_breaker() const { return *crunchbase_breaker_; }
+  const CircuitBreaker& facebook_breaker() const { return *facebook_breaker_; }
+  const CircuitBreaker& twitter_breaker() const { return *twitter_breaker_; }
 
  private:
   class Shard;  // per-worker state (clock, counters, snapshot writers)
+  enum class ItemOutcome { kOk, kSkipped, kFailed };
+  using ProcessFn = ItemOutcome (Crawler::*)(const CrawledCompany&, Shard&);
 
   /// Runs `fn(item_index, shard)` for every index in [0, n) striped across
   /// workers; merges shard counters afterwards.
@@ -118,22 +211,64 @@ class Crawler {
 
   Status SetUpTokens();
   void MergeCounters();
+  FetchCounters SumShardCounters() const;
+  int64_t MaxShardClock() const;
+  int64_t SumBreakerTrips() const;
+
+  /// Phase driver starting at `phase_idx` into the canonical phase order,
+  /// with `cursor` companies of that phase already done (resume path).
+  Status RunFrom(size_t phase_idx, size_t cursor);
+  /// Checkpoints the transition to `next` and fires the crash hook.
+  Status AfterPhase(std::string_view completed, std::string_view next);
+
+  /// Chunked, breaker-guarded, checkpointed augmentation phase loop.
+  Status RunPhase(std::string_view phase, size_t start_cursor);
+  ItemOutcome ProcessCrunchBase(const CrawledCompany& cc, Shard& shard);
+  ItemOutcome ProcessFacebook(const CrawledCompany& cc, Shard& shard);
+  ItemOutcome ProcessTwitter(const CrawledCompany& cc, Shard& shard);
+  CircuitBreaker* BreakerFor(std::string_view phase);
+  ProcessFn ProcessFor(std::string_view phase) const;
+
+  Status DeadLetter(Shard& shard, std::string_view phase, uint64_t id,
+                    std::string_view reason);
+
+  Status SaveCheckpoint(std::string_view phase, size_t cursor);
+  Status RestoreFromCheckpoint(const CheckpointState& state);
+  Status FlushAllShards();
 
   net::SocialWeb* web_;
   dfs::MiniDfs* dfs_;
   CrawlConfig config_;
   CrawlReport report_;
+  std::mutex report_mu_;  // guards phase counters updated from workers
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Discovered-entity state (BFS bookkeeping).
+  // Discovered-entity state (BFS bookkeeping). The frontiers and round
+  // counter live here so checkpoints can capture mid-BFS progress.
   std::unordered_set<uint64_t> seen_companies_;
   std::unordered_set<uint64_t> seen_users_;
   std::vector<CrawledCompany> companies_;
+  std::vector<uint64_t> company_frontier_;
+  std::vector<uint64_t> user_frontier_;
+  int64_t bfs_round_ = 0;
+  bool bfs_seeded_ = false;
 
   // Tokens.
   std::vector<std::string> twitter_tokens_;
   std::string facebook_token_;
+
+  // Fault tolerance.
+  std::unique_ptr<CircuitBreaker> crunchbase_breaker_;
+  std::unique_ptr<CircuitBreaker> facebook_breaker_;
+  std::unique_ptr<CircuitBreaker> twitter_breaker_;
+  std::unique_ptr<CheckpointStore> checkpoints_;
+  /// Records per snapshot file at restore time; checkpointed counts are
+  /// base + records written by this incarnation's writers.
+  std::map<std::string, int64_t> snapshot_base_counts_;
+  /// Counters carried over from the incarnation(s) before a resume.
+  FetchCounters fetch_base_;
+  int64_t breaker_trips_base_ = 0;
 };
 
 }  // namespace cfnet::crawler

@@ -4,21 +4,117 @@
 
 namespace cfnet::crawler {
 
+bool CircuitBreaker::AllowRequest(int64_t now_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_micros < open_until_micros_) return false;
+      state_ = State::kHalfOpen;
+      half_open_admitted_ = 0;
+      half_open_successes_ = 0;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (half_open_admitted_ >= config_.half_open_probes) return false;
+      ++half_open_admitted_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    if (++half_open_successes_ >= config_.half_open_probes) {
+      state_ = State::kClosed;
+      consecutive_failures_ = 0;
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure(int64_t now_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // A failed probe re-opens immediately for another cooldown.
+    state_ = State::kOpen;
+    open_until_micros_ =
+        std::max(open_until_micros_, now_micros + config_.cooldown_micros);
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (state_ == State::kOpen) return;  // racing worker, already open
+  if (++consecutive_failures_ >= config_.failure_threshold) {
+    state_ = State::kOpen;
+    open_until_micros_ = now_micros + config_.cooldown_micros;
+    consecutive_failures_ = 0;
+    trips_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CircuitBreaker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  half_open_admitted_ = 0;
+  half_open_successes_ = 0;
+  open_until_micros_ = 0;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::open_until_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_until_micros_;
+}
+
 net::ApiResponse FetchWithRetry(net::ApiService* service,
                                 net::ApiRequest request, TokenPool* tokens,
                                 const FetchPolicy& policy,
-                                int64_t* worker_time, FetchCounters* counters) {
+                                int64_t* worker_time, FetchCounters* counters,
+                                CircuitBreaker* breaker) {
   if (tokens != nullptr && !tokens->empty()) {
     request.access_token = tokens->current();
   }
   int attempt = 0;
   size_t rotations_this_window = 0;
   for (;;) {
+    if (breaker != nullptr && !breaker->AllowRequest(*worker_time)) {
+      // Wait out the cooldown in virtual time and contend for a half-open
+      // probe slot; losers of the probe race (and impatient policies) fail
+      // fast without touching the service.
+      bool admitted = false;
+      if (policy.wait_for_breaker_probe) {
+        int64_t until = breaker->open_until_micros();
+        if (until > *worker_time) {
+          *worker_time = until;
+          ++counters->breaker_waits;
+        }
+        admitted = breaker->AllowRequest(*worker_time);
+      }
+      if (!admitted) {
+        ++counters->breaker_fast_fails;
+        ++counters->failures;
+        return net::ApiResponse::Error(
+            503, "circuit breaker open: " + service->name());
+      }
+    }
     ++counters->requests;
     net::ApiResponse resp = service->Handle(request, worker_time);
-    if (resp.status == 503) {
+    const bool malformed = resp.status == 200 && resp.malformed;
+    if (resp.status == 503 || malformed) {
+      if (breaker != nullptr) breaker->RecordFailure(*worker_time);
+      if (malformed) ++counters->malformed_retries;
       if (attempt >= policy.max_retries) {
         ++counters->failures;
+        if (malformed) {
+          return net::ApiResponse::Error(502, "malformed response body");
+        }
         return resp;
       }
       // Exponential backoff in virtual time.
@@ -44,6 +140,15 @@ net::ApiResponse FetchWithRetry(net::ApiService* service,
       ++counters->rate_limit_waits;
       continue;
     }
+    if (breaker != nullptr) {
+      // 401s feed the breaker (token-revocation storms are a service-side
+      // incident); 404/400 are healthy answers about unhealthy questions.
+      if (resp.status == 401) {
+        breaker->RecordFailure(*worker_time);
+      } else {
+        breaker->RecordSuccess();
+      }
+    }
     return resp;
   }
 }
@@ -53,11 +158,13 @@ net::ApiResponse FetchAllPages(
     const std::function<net::ApiRequest(int64_t page)>& make_request,
     TokenPool* tokens, const FetchPolicy& policy, int64_t* worker_time,
     FetchCounters* counters,
-    const std::function<void(const json::Json& body)>& on_page) {
+    const std::function<void(const json::Json& body)>& on_page,
+    CircuitBreaker* breaker) {
   int64_t page = 1;
   for (;;) {
     net::ApiResponse resp = FetchWithRetry(service, make_request(page), tokens,
-                                           policy, worker_time, counters);
+                                           policy, worker_time, counters,
+                                           breaker);
     if (!resp.ok()) return resp;
     on_page(resp.body);
     int64_t last_page = resp.body.Get("last_page").AsInt(1);

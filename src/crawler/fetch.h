@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,11 @@ struct FetchPolicy {
   /// every token is exhausted, advance the worker clock to the earliest
   /// retry time (waiting out the window).
   bool rotate_tokens_on_rate_limit = true;
+  /// When the circuit breaker is open: wait out the cooldown (advancing the
+  /// worker clock) and contend for a half-open probe slot. Workers that
+  /// lose the probe race — or policies that disable waiting — fail fast
+  /// without touching the service.
+  bool wait_for_breaker_probe = true;
 };
 
 /// A worker's set of access tokens for one service, with rotation state —
@@ -29,12 +35,20 @@ class TokenPool {
  public:
   TokenPool() = default;
   explicit TokenPool(std::vector<std::string> tokens, size_t start = 0)
-      : tokens_(std::move(tokens)), current_(start % std::max<size_t>(1, tokens_.size())) {}
+      : tokens_(std::move(tokens)),
+        current_(tokens_.empty() ? 0 : start % tokens_.size()) {}
 
   bool empty() const { return tokens_.empty(); }
   size_t size() const { return tokens_.size(); }
-  const std::string& current() const { return tokens_[current_]; }
-  void Rotate() { current_ = (current_ + 1) % tokens_.size(); }
+  /// Empty pools yield the empty token (services answer it with a 401)
+  /// instead of indexing out of bounds.
+  const std::string& current() const {
+    static const std::string* no_token = new std::string;
+    return tokens_.empty() ? *no_token : tokens_[current_];
+  }
+  void Rotate() {
+    if (!tokens_.empty()) current_ = (current_ + 1) % tokens_.size();
+  }
 
  private:
   std::vector<std::string> tokens_;
@@ -48,16 +62,82 @@ struct FetchCounters {
   int64_t rate_limit_waits = 0;
   int64_t token_rotations = 0;
   int64_t failures = 0;
+  int64_t malformed_retries = 0;    // truncated-body responses retried
+  int64_t breaker_fast_fails = 0;   // requests short-circuited while open
+  int64_t breaker_waits = 0;        // cooldowns waited out before a probe
+
+  FetchCounters& operator+=(const FetchCounters& o) {
+    requests += o.requests;
+    retries += o.retries;
+    rate_limit_waits += o.rate_limit_waits;
+    token_rotations += o.token_rotations;
+    failures += o.failures;
+    malformed_retries += o.malformed_retries;
+    breaker_fast_fails += o.breaker_fast_fails;
+    breaker_waits += o.breaker_waits;
+    return *this;
+  }
 };
 
-/// Issues `request` against `service`, handling transient 503s (retry with
-/// exponential backoff in virtual time) and 429s (token rotation and/or
-/// waiting). Advances `*worker_time` accordingly. Non-retryable statuses
-/// (404, 401, 400) are returned to the caller as-is.
+/// Circuit-breaker tuning (virtual-time cooldowns).
+struct CircuitBreakerConfig {
+  int failure_threshold = 5;                  // consecutive failures to open
+  int64_t cooldown_micros = 60ll * 1000000;   // open -> half-open delay
+  int half_open_probes = 1;                   // successes needed to re-close
+};
+
+/// Per-service circuit breaker shared by all crawler workers: closed ->
+/// open after `failure_threshold` consecutive failures, open -> half-open
+/// once the virtual-time cooldown elapses, half-open -> closed after
+/// `half_open_probes` successful probes (any probe failure re-opens).
+/// While open, FetchWithRetry fails fast without touching the service.
+/// Thread-safe; `trips()` counts transitions into the open state.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {})
+      : config_(config) {}
+
+  /// True when a request may be issued at virtual time `now_micros`
+  /// (closed, or open past its cooldown — which admits half-open probes).
+  bool AllowRequest(int64_t now_micros);
+  void RecordSuccess();
+  void RecordFailure(int64_t now_micros);
+  /// Back to closed with counters cleared; `trips()` stays (it is a
+  /// monotonic metric, not state).
+  void Reset();
+
+  State state() const;
+  int64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+  /// Virtual time the current open period ends (0 when never opened). A
+  /// waiting worker advances its clock here before probing.
+  int64_t open_until_micros() const;
+
+ private:
+  CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_admitted_ = 0;
+  int half_open_successes_ = 0;
+  int64_t open_until_micros_ = 0;
+  std::atomic<int64_t> trips_{0};
+};
+
+/// Issues `request` against `service`, handling transient 503s and
+/// malformed 200 bodies (retry with exponential backoff in virtual time)
+/// and 429s (token rotation and/or waiting). Advances `*worker_time`
+/// accordingly. Non-retryable statuses (404, 401, 400) are returned to the
+/// caller as-is; a malformed body that survives every retry comes back as a
+/// 502. With a `breaker`, a request arriving while it is open waits out the
+/// cooldown and contends for a half-open probe (policy permitting); losers
+/// fail fast (503). Every attempt outcome feeds the breaker state machine.
 net::ApiResponse FetchWithRetry(net::ApiService* service,
                                 net::ApiRequest request, TokenPool* tokens,
                                 const FetchPolicy& policy,
-                                int64_t* worker_time, FetchCounters* counters);
+                                int64_t* worker_time, FetchCounters* counters,
+                                CircuitBreaker* breaker = nullptr);
 
 /// Fetches every page of a paginated endpoint (pages are 1-based; the
 /// response carries "last_page") and invokes `on_page` for each 200 body.
@@ -69,7 +149,8 @@ net::ApiResponse FetchAllPages(
     const std::function<net::ApiRequest(int64_t page)>& make_request,
     TokenPool* tokens, const FetchPolicy& policy, int64_t* worker_time,
     FetchCounters* counters,
-    const std::function<void(const json::Json& body)>& on_page);
+    const std::function<void(const json::Json& body)>& on_page,
+    CircuitBreaker* breaker = nullptr);
 
 }  // namespace cfnet::crawler
 

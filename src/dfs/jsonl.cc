@@ -49,4 +49,40 @@ Result<std::vector<json::Json>> ReadJsonLines(const MiniDfs& dfs,
   return out;
 }
 
+Result<int64_t> CountJsonLines(const MiniDfs& dfs, const std::string& path) {
+  CFNET_ASSIGN_OR_RETURN(std::string content, dfs.ReadFile(path));
+  int64_t records = 0;
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    if (!StrTrim(std::string_view(content.data() + start, end - start))
+             .empty()) {
+      ++records;
+    }
+    start = end + 1;
+  }
+  return records;
+}
+
+Status TruncateJsonLines(MiniDfs* dfs, const std::string& path,
+                         int64_t keep_records) {
+  if (keep_records <= 0) return dfs->Delete(path);
+  CFNET_ASSIGN_OR_RETURN(std::string content, dfs->ReadFile(path));
+  int64_t records = 0;
+  size_t start = 0;
+  while (start < content.size() && records < keep_records) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    if (!StrTrim(std::string_view(content.data() + start, end - start))
+             .empty()) {
+      ++records;
+    }
+    start = end + 1;
+  }
+  if (start >= content.size()) return Status::OK();  // already short enough
+  content.resize(start);
+  return dfs->WriteFile(path, content);
+}
+
 }  // namespace cfnet::dfs

@@ -29,6 +29,7 @@ class JsonLinesWriter {
   Status Flush();
 
   size_t records_written() const { return records_written_; }
+  const std::string& path() const { return path_; }
 
  private:
   MiniDfs* dfs_;
@@ -42,6 +43,17 @@ class JsonLinesWriter {
 /// (the crawler only writes well-formed lines; corruption means DFS trouble).
 Result<std::vector<json::Json>> ReadJsonLines(const MiniDfs& dfs,
                                               const std::string& path);
+
+/// Counts the records (non-empty lines) of a JSON-lines file without
+/// parsing them.
+Result<int64_t> CountJsonLines(const MiniDfs& dfs, const std::string& path);
+
+/// Truncates a JSON-lines file to its first `keep_records` records — the
+/// crash-recovery primitive that discards shard appends made after the last
+/// checkpoint. Keeping at least the current record count is a no-op;
+/// truncating to zero deletes the file.
+Status TruncateJsonLines(MiniDfs* dfs, const std::string& path,
+                         int64_t keep_records);
 
 }  // namespace cfnet::dfs
 

@@ -1,0 +1,91 @@
+#ifndef CFNET_NET_FAULT_PLAN_H_
+#define CFNET_NET_FAULT_PLAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfnet::net {
+
+/// One scripted fault interval in virtual time. A request whose worker clock
+/// falls inside [begin_micros, end_micros) is hit with probability `rate`
+/// (1.0 = deterministic; fractional rates draw from the plan's seeded hash
+/// stream so replays of the same scenario are reproducible).
+struct FaultWindow {
+  int64_t begin_micros = 0;
+  int64_t end_micros = 0;
+  double rate = 1.0;
+
+  bool Contains(int64_t t) const { return t >= begin_micros && t < end_micros; }
+};
+
+/// A latency spike: requests inside the window take `multiplier` times the
+/// sampled latency (slow-request storms, e.g. an overloaded backend).
+struct LatencySpike {
+  int64_t begin_micros = 0;
+  int64_t end_micros = 0;
+  double multiplier = 10.0;
+
+  bool Contains(int64_t t) const { return t >= begin_micros && t < end_micros; }
+};
+
+/// Scripted failure scenario for one service, expressed in virtual time so
+/// whole weeks of flaky-API behaviour replay deterministically in a test.
+///
+///  - `error_bursts`: 503 storms / hard outage windows (rate 1.0 reproduces
+///    the paper's CrunchBase and Facebook maintenance outages).
+///  - `auth_storms`: token-revocation windows — every token-authenticated
+///    request is answered 401 ("401 storms").
+///  - `malformed_bodies`: the service answers 200 but the JSON body is
+///    truncated mid-document; clients must treat it as a parse failure.
+///  - `latency_spikes`: slow-request windows.
+struct FaultPlan {
+  std::vector<FaultWindow> error_bursts;
+  std::vector<FaultWindow> auth_storms;
+  std::vector<FaultWindow> malformed_bodies;
+  std::vector<LatencySpike> latency_spikes;
+  /// Seed for fractional-rate draws; two injectors with the same plan and
+  /// request order make identical decisions.
+  uint64_t seed = 1;
+
+  bool empty() const {
+    return error_bursts.empty() && auth_storms.empty() &&
+           malformed_bodies.empty() && latency_spikes.empty();
+  }
+};
+
+/// Per-request fault decision.
+struct FaultDecision {
+  bool inject_error = false;    // answer 503 regardless of endpoint
+  bool auth_storm = false;      // answer 401 on token-authenticated endpoints
+  bool malformed_body = false;  // answer 200 with a truncated body
+  double latency_multiplier = 1.0;
+};
+
+/// Evaluates a FaultPlan against virtual time. Thread-safe; fractional-rate
+/// draws come from a seeded counter-based hash so decisions depend only on
+/// (seed, draw index), not on wall-clock interleaving sources.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Decision for one request issued at virtual time `now_micros`.
+  FaultDecision Evaluate(int64_t now_micros);
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  bool Hit(const std::vector<FaultWindow>& windows, int64_t now,
+           uint64_t category);
+
+  FaultPlan plan_;
+  std::atomic<uint64_t> draw_serial_{0};
+};
+
+}  // namespace cfnet::net
+
+#endif  // CFNET_NET_FAULT_PLAN_H_

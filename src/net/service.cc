@@ -59,6 +59,10 @@ bool ApiService::EndpointRequiresToken(const std::string&) const {
   return config_.requires_token;
 }
 
+void ApiService::set_fault_plan(FaultPlan plan) {
+  injector_ = plan.empty() ? nullptr : std::make_unique<FaultInjector>(std::move(plan));
+}
+
 bool ApiService::PageRange(int64_t total, int64_t page, int64_t* begin,
                            int64_t* end, int64_t* last_page) const {
   const int64_t per_page = config_.page_size;
@@ -73,11 +77,25 @@ ApiResponse ApiService::Handle(const ApiRequest& request,
                                int64_t* worker_time_micros) {
   stats_.total.fetch_add(1, std::memory_order_relaxed);
 
+  // Scripted-fault decision for this request (identity when no plan).
+  FaultDecision fault;
+  if (injector_ != nullptr) fault = injector_->Evaluate(*worker_time_micros);
+  auto latency = [&]() {
+    return static_cast<int64_t>(static_cast<double>(SampleLatency()) *
+                                fault.latency_multiplier);
+  };
+
   const bool needs_token = EndpointRequiresToken(request.endpoint);
+  if (needs_token && fault.auth_storm) {
+    stats_.injected_auth_failures.fetch_add(1, std::memory_order_relaxed);
+    stats_.unauthorized.fetch_add(1, std::memory_order_relaxed);
+    *worker_time_micros += latency();
+    return ApiResponse::Error(401, "access token revoked");
+  }
   if (needs_token &&
       !tokens_.IsValid(request.access_token, *worker_time_micros)) {
     stats_.unauthorized.fetch_add(1, std::memory_order_relaxed);
-    *worker_time_micros += SampleLatency();
+    *worker_time_micros += latency();
     return ApiResponse::Error(401, "invalid or expired access token");
   }
 
@@ -86,14 +104,15 @@ ApiResponse ApiService::Handle(const ApiRequest& request,
     if (!decision.admitted) {
       stats_.rate_limited.fetch_add(1, std::memory_order_relaxed);
       // Rejection is cheap (the API answers immediately with a 429).
-      json::Json body = json::Json::MakeObject();
-      body.Set("error", "rate limit exceeded");
-      body.Set("retry_at_micros", decision.retry_at_micros);
-      return ApiResponse{429, std::move(body)};
+      ApiResponse limited;
+      limited.status = 429;
+      limited.body.Set("error", "rate limit exceeded");
+      limited.body.Set("retry_at_micros", decision.retry_at_micros);
+      return limited;
     }
   }
 
-  *worker_time_micros += SampleLatency();
+  *worker_time_micros += latency();
 
   for (const auto& [begin, end] : config_.outage_windows) {
     if (*worker_time_micros >= begin && *worker_time_micros < end) {
@@ -102,12 +121,26 @@ ApiResponse ApiService::Handle(const ApiRequest& request,
     }
   }
 
+  if (fault.inject_error) {
+    stats_.injected_errors.fetch_add(1, std::memory_order_relaxed);
+    return ApiResponse::Error(503, "injected fault: service unavailable");
+  }
+
   if (ShouldInjectError()) {
     stats_.transient_errors.fetch_add(1, std::memory_order_relaxed);
     return ApiResponse::Error(503, "service temporarily unavailable");
   }
 
   ApiResponse resp = Dispatch(request, *worker_time_micros);
+  if (resp.status == 200 && fault.malformed_body) {
+    stats_.malformed_responses.fetch_add(1, std::memory_order_relaxed);
+    ApiResponse broken;
+    broken.status = 200;
+    broken.malformed = true;
+    broken.raw_body = resp.body.Dump();
+    broken.raw_body.resize(broken.raw_body.size() / 2);  // truncated mid-doc
+    return broken;
+  }
   if (resp.status == 200) {
     stats_.ok.fetch_add(1, std::memory_order_relaxed);
   } else if (resp.status == 404) {

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "json/json.h"
+#include "net/fault_plan.h"
 #include "net/rate_limiter.h"
 #include "net/tokens.h"
 #include "synth/world.h"
@@ -40,16 +41,24 @@ struct ApiRequest {
 struct ApiResponse {
   int status = 200;  // 200, 400, 401, 404, 429, 503
   json::Json body;
+  /// True when the 200 body failed to parse client-side (truncated JSON from
+  /// a fault window); `raw_body` carries the broken text, `body` is null.
+  /// Callers must treat a malformed 200 as a retryable transport error.
+  bool malformed = false;
+  std::string raw_body;
 
-  bool ok() const { return status == 200; }
+  bool ok() const { return status == 200 && !malformed; }
 
   static ApiResponse Ok(json::Json body) {
-    return ApiResponse{200, std::move(body)};
+    ApiResponse r;
+    r.body = std::move(body);
+    return r;
   }
   static ApiResponse Error(int status, const std::string& message) {
-    json::Json b = json::Json::MakeObject();
-    b.Set("error", message);
-    return ApiResponse{status, std::move(b)};
+    ApiResponse r;
+    r.status = status;
+    r.body.Set("error", message);
+    return r;
   }
 };
 
@@ -78,6 +87,10 @@ struct ServiceStats {
   std::atomic<int64_t> transient_errors{0};
   std::atomic<int64_t> outage_rejections{0};
   std::atomic<int64_t> not_found{0};
+  // Scripted fault-plan injections (zero unless a FaultPlan is installed).
+  std::atomic<int64_t> injected_errors{0};
+  std::atomic<int64_t> injected_auth_failures{0};
+  std::atomic<int64_t> malformed_responses{0};
 };
 
 /// Base class for the four simulated Web APIs. Handles the cross-cutting
@@ -106,6 +119,11 @@ class ApiService {
   TokenRegistry& tokens() { return tokens_; }
   const ServiceConfig& config() const { return config_; }
 
+  /// Installs (or, with an empty plan, clears) a scripted fault scenario.
+  /// Not synchronized against in-flight requests — install between crawls.
+  void set_fault_plan(FaultPlan plan);
+  bool has_fault_plan() const { return injector_ != nullptr; }
+
  protected:
   /// Endpoint semantics; `now_micros` is the worker's virtual time after
   /// latency. Runs concurrently from many workers — implementations must
@@ -132,6 +150,7 @@ class ApiService {
   ServiceStats stats_;
   TokenRegistry tokens_;
   std::unique_ptr<SlidingWindowRateLimiter> limiter_;
+  std::unique_ptr<FaultInjector> injector_;
   std::atomic<uint64_t> request_serial_{0};
 };
 
