@@ -1,6 +1,13 @@
 // MiniSpark (dataflow substrate) throughput: the operators the paper's
-// analyses are built from, measured standalone with google-benchmark.
+// analyses are built from, measured standalone with google-benchmark, plus
+// a fixed set of engine workloads (fused narrow chain, skewed aggregation,
+// sort, repartition) whose results are written as machine-readable JSON for
+// before/after comparison (--json=PATH, default BENCH_dataflow.json;
+// --records=N sets the workload size).
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <numeric>
 #include <string>
 
@@ -8,6 +15,8 @@
 
 #include "bench/bench_util.h"
 #include "dataflow/dataset.h"
+#include "json/json.h"
+#include "util/flags.h"
 
 namespace cfnet::bench {
 namespace {
@@ -129,10 +138,143 @@ void BM_ScalingWithThreads(benchmark::State& state) {
 BENCHMARK(BM_ScalingWithThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// --- measured engine workloads (JSON output) ------------------------------
+
+/// Times `fn` (one warmup + `reps` timed runs) and snapshots the engine
+/// metric deltas of a single run.
+struct Measured {
+  double ms_per_rep = 0;
+  uint64_t stages_run = 0;
+  uint64_t fused_ops = 0;
+  uint64_t morsels_run = 0;
+  double stage_wall_ms = 0;
+};
+
+template <typename F>
+Measured Measure(ExecutionContext& ctx, F&& fn, int reps) {
+  fn();  // warmup (also materializes memoized sources)
+  ctx.metrics().Reset();
+  fn();
+  Measured m;
+  m.stages_run = ctx.metrics().stages_run.load();
+  m.fused_ops = ctx.metrics().fused_ops.load();
+  m.morsels_run = ctx.metrics().morsels_run.load();
+  m.stage_wall_ms =
+      static_cast<double>(ctx.metrics().stage_wall_ns.load()) / 1e6;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  auto t1 = std::chrono::steady_clock::now();
+  m.ms_per_rep =
+      std::chrono::duration<double, std::milli>(t1 - t0).count() / reps;
+  return m;
+}
+
+/// Runs the fixed engine workloads and writes one JSON document. Sources are
+/// materialized before timing so each rep measures the engine work (narrow
+/// pipeline, shuffle, sort), not the cost of copying the input vector.
+void RunMeasuredWorkloads(const cfnet::FlagParser& flags) {
+  const size_t n = static_cast<size_t>(flags.GetInt("records", 2000000));
+  const std::string path = flags.GetString("json", "BENCH_dataflow.json");
+  const int reps = static_cast<int>(flags.GetInt("reps", 5));
+  auto ctx = std::make_shared<ExecutionContext>();
+
+  json::Json doc = json::Json::MakeObject();
+  doc.Set("bench", "bench_dataflow");
+  doc.Set("records", static_cast<int64_t>(n));
+  doc.Set("parallelism", static_cast<int64_t>(ctx->parallelism()));
+  doc.Set("morsel_size", static_cast<int64_t>(ctx->morsel_size()));
+  json::Json workloads = json::Json::MakeArray();
+
+  auto emit = [&workloads, n](const std::string& name, const Measured& m) {
+    json::Json w = json::Json::MakeObject();
+    w.Set("name", name);
+    w.Set("ms_per_rep", m.ms_per_rep);
+    w.Set("records_per_sec", m.ms_per_rep > 0
+                                 ? static_cast<double>(n) / m.ms_per_rep * 1e3
+                                 : 0.0);
+    w.Set("stages_run", static_cast<int64_t>(m.stages_run));
+    w.Set("fused_ops", static_cast<int64_t>(m.fused_ops));
+    w.Set("morsels_run", static_cast<int64_t>(m.morsels_run));
+    w.Set("stage_wall_ms", m.stage_wall_ms);
+    workloads.Append(std::move(w));
+    std::printf("%-22s %8.2f ms  %7.1f Mrec/s  (stages=%llu fused_ops=%llu "
+                "morsels=%llu)\n",
+                name.c_str(), m.ms_per_rep, n / m.ms_per_rep / 1e3,
+                static_cast<unsigned long long>(m.stages_run),
+                static_cast<unsigned long long>(m.fused_ops),
+                static_cast<unsigned long long>(m.morsels_run));
+  };
+
+  Section("Measured engine workloads");
+
+  {
+    auto src = Dataset<int64_t>::FromVector(ctx, Numbers(n));
+    src.Count();
+    emit("map_filter_chain", Measure(*ctx, [&src]() {
+      auto c = src.Map([](const int64_t& x) { return x * 3 + 1; })
+                   .Filter([](const int64_t& x) { return x % 2 == 0; })
+                   .Map([](const int64_t& x) { return x / 2; })
+                   .Count();
+      benchmark::DoNotOptimize(c);
+    }, reps));
+  }
+
+  {
+    // 90% of the records hit 100 hot keys: stresses shuffle skew handling.
+    std::vector<std::pair<int64_t, int64_t>> kvs;
+    kvs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      int64_t k = (i % 10 != 0) ? static_cast<int64_t>(i % 100)
+                                : static_cast<int64_t>(1000 + i % 100000);
+      kvs.emplace_back(k, 1);
+    }
+    auto src =
+        Dataset<std::pair<int64_t, int64_t>>::FromVector(ctx, std::move(kvs));
+    src.Count();
+    emit("skewed_reduce_by_key", Measure(*ctx, [&src]() {
+      auto c = ReduceByKey(src.Map([](const std::pair<int64_t, int64_t>& kv) {
+                             return std::make_pair(kv.first, kv.second * 2);
+                           }),
+                           [](int64_t a, int64_t b) { return a + b; })
+                   .Count();
+      benchmark::DoNotOptimize(c);
+    }, reps));
+  }
+
+  {
+    std::vector<int64_t> shuffled(n);
+    for (size_t i = 0; i < n; ++i) {
+      shuffled[i] = static_cast<int64_t>((i * 2654435761u) % n);
+    }
+    auto src = Dataset<int64_t>::FromVector(ctx, std::move(shuffled));
+    src.Count();
+    emit("sort_by", Measure(*ctx, [&src]() {
+      auto sorted = src.SortBy([](const int64_t& x) { return x; });
+      benchmark::DoNotOptimize(sorted);
+    }, reps));
+  }
+
+  {
+    auto src = Dataset<int64_t>::FromVector(ctx, Numbers(n), 8);
+    src.Count();
+    emit("repartition", Measure(*ctx, [&src]() {
+      auto c = src.Repartition(5).Count();
+      benchmark::DoNotOptimize(c);
+    }, reps));
+  }
+
+  doc.Set("workloads", std::move(workloads));
+  std::ofstream out(path);
+  out << doc.Dump(2) << "\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace cfnet::bench
 
 int main(int argc, char** argv) {
+  cfnet::FlagParser flags(argc, argv);
+  cfnet::bench::RunMeasuredWorkloads(flags);
   cfnet::bench::RunBenchmarks(argc, argv);
   return 0;
 }

@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <future>
 #include <memory>
 #include <vector>
 
@@ -12,11 +11,27 @@
 namespace cfnet::dataflow {
 
 /// Counters the engine exposes for benchmarking (tasks launched, records
-/// moved through shuffles).
+/// moved through shuffles, fused narrow stages and the morsels they ran as).
 struct EngineMetrics {
   std::atomic<uint64_t> tasks_launched{0};
   std::atomic<uint64_t> shuffle_records{0};
   std::atomic<uint64_t> stages_run{0};
+  /// Narrow operators executed inside fused stages (a Map→Filter→Map chain
+  /// contributes 3 here but only 1 to stages_run).
+  std::atomic<uint64_t> fused_ops{0};
+  /// Morsels dispatched by the morsel-driven stage executor.
+  std::atomic<uint64_t> morsels_run{0};
+  /// Summed wall time of fused narrow stages, nanoseconds.
+  std::atomic<uint64_t> stage_wall_ns{0};
+
+  void Reset() {
+    tasks_launched.store(0, std::memory_order_relaxed);
+    shuffle_records.store(0, std::memory_order_relaxed);
+    stages_run.store(0, std::memory_order_relaxed);
+    fused_ops.store(0, std::memory_order_relaxed);
+    morsels_run.store(0, std::memory_order_relaxed);
+    stage_wall_ns.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// Execution context for the MiniSpark engine: owns the worker pool and
@@ -24,6 +39,10 @@ struct EngineMetrics {
 /// the same context share its pool.
 class ExecutionContext {
  public:
+  /// Partitions larger than this many elements are split into morsels of
+  /// this size by the fused-stage executor for dynamic load balancing.
+  static constexpr size_t kDefaultMorselSize = 32768;
+
   /// `parallelism` worker threads; `default_partitions` defaults to the
   /// same value when 0.
   explicit ExecutionContext(size_t parallelism = ThreadPool::DefaultParallelism(),
@@ -38,31 +57,29 @@ class ExecutionContext {
   size_t parallelism() const { return pool_.num_threads(); }
   size_t default_partitions() const { return default_partitions_; }
   EngineMetrics& metrics() { return metrics_; }
+  ThreadPool& pool() { return pool_; }
 
-  /// Runs f(0..n-1) on the pool and blocks until all complete.
-  /// Must be called from outside pool worker threads (the engine only
-  /// drives evaluation from the caller's thread, so this holds).
+  size_t morsel_size() const { return morsel_size_; }
+  void set_morsel_size(size_t elements) {
+    morsel_size_ = elements == 0 ? kDefaultMorselSize : elements;
+  }
+
+  /// Runs f(0..n-1) on the pool and blocks until all complete. The caller
+  /// participates in executing the batch (ThreadPool::RunBulk), so this is
+  /// safe to invoke from inside a pool worker — nested dataset evaluation
+  /// cannot deadlock.
   template <typename F>
   void RunParallel(size_t n, F&& f) {
     if (n == 0) return;
     metrics_.stages_run.fetch_add(1, std::memory_order_relaxed);
-    if (n == 1) {
-      metrics_.tasks_launched.fetch_add(1, std::memory_order_relaxed);
-      f(size_t{0});
-      return;
-    }
-    std::vector<std::future<void>> futures;
-    futures.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      metrics_.tasks_launched.fetch_add(1, std::memory_order_relaxed);
-      futures.push_back(pool_.Submit([&f, i]() { f(i); }));
-    }
-    for (auto& fut : futures) fut.get();
+    metrics_.tasks_launched.fetch_add(n, std::memory_order_relaxed);
+    pool_.RunBulk(n, std::forward<F>(f));
   }
 
  private:
   ThreadPool pool_;
   size_t default_partitions_;
+  size_t morsel_size_ = kDefaultMorselSize;
   EngineMetrics metrics_;
 };
 

@@ -2,6 +2,7 @@
 #define CFNET_DATAFLOW_DATASET_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "dataflow/context.h"
+#include "dataflow/narrow_chain.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -26,7 +28,8 @@ namespace internal_dataset {
 
 /// Lazily-computed, memoized partitioned collection (the RDD analogue).
 /// `compute` runs at most once, on the first action; narrow transformations
-/// chain compute thunks, wide ones insert a hash shuffle.
+/// extend a fused per-element chain (executed as a single morsel-driven
+/// stage), wide ones insert a hash shuffle.
 template <typename T>
 struct Impl {
   std::shared_ptr<ExecutionContext> ctx;
@@ -34,11 +37,23 @@ struct Impl {
   std::function<Partitions<T>()> compute;
   std::once_flag once;
   Partitions<T> data;
+  /// The fused narrow pipeline this impl's compute executes, when the impl
+  /// is a narrow transformation. Further narrow ops extend it (re-running it
+  /// from the source on their own evaluation, Spark-style) instead of
+  /// materializing this impl.
+  std::shared_ptr<internal_chain::NarrowChain<T>> chain;
+  /// Set once `data` is valid; downstream ops then read `data` directly
+  /// instead of re-running `chain`.
+  std::atomic<bool> materialized{false};
+  /// Set by Dataset::Cache(): downstream narrow ops must materialize here
+  /// rather than fuse past this impl.
+  std::atomic<bool> cache_pinned{false};
 
   const Partitions<T>& Materialize() {
     std::call_once(once, [this]() {
       data = compute();
       compute = nullptr;  // release captured parents
+      materialized.store(true, std::memory_order_release);
     });
     return data;
   }
@@ -50,6 +65,14 @@ struct Impl {
 /// RDD/Dataset. All transformations are lazy and memoized: the pipeline
 /// executes once, on the first action (`Collect`, `Count`, ...), in parallel
 /// across partitions on the context's thread pool.
+///
+/// Chained narrow transformations (Map/Filter/FlatMap/Sample) fuse into a
+/// single stage: one pass per partition morsel, one output allocation, no
+/// intermediate partitions. Wide (shuffle) operations and `Cache()` are the
+/// materialization boundaries. A consequence of fusion: an *unmaterialized*
+/// narrow dataset used by several downstream pipelines is recomputed from
+/// its source by each of them (as in Spark) — call `Cache()` on it to pin a
+/// shared materialization instead.
 ///
 /// Copying a Dataset is cheap (shared immutable state). Element types must
 /// be copyable; key types used in wide operations additionally need
@@ -96,45 +119,75 @@ class Dataset {
   size_t num_partitions() const { return impl_->num_partitions; }
 
   /// --- narrow transformations -------------------------------------------
+  /// Each of these extends the fused chain: evaluation runs the whole chain
+  /// in one morsel-driven stage with a single output allocation.
 
   /// Element-wise transform.
   template <typename F>
   auto Map(F f) const -> Dataset<std::decay_t<std::invoke_result_t<F, const T&>>> {
     using U = std::decay_t<std::invoke_result_t<F, const T&>>;
-    auto parent = impl_;
-    auto out = std::make_shared<internal_dataset::Impl<U>>();
-    out->ctx = parent->ctx;
-    out->num_partitions = parent->num_partitions;
-    out->compute = [parent, f]() {
-      const auto& in = parent->Materialize();
-      Partitions<U> result(in.size());
-      parent->ctx->RunParallel(in.size(), [&](size_t i) {
-        result[i].reserve(in[i].size());
-        for (const T& x : in[i]) result[i].push_back(f(x));
-      });
-      return result;
-    };
-    return Dataset<U>(std::move(out));
+    auto pchain = ChainFor(impl_);
+    auto chain = std::make_shared<internal_chain::NarrowChain<U>>();
+    InheritSource(*chain, *pchain);
+    if (auto src = pchain->source_part) {
+      chain->run = [src, f](size_t p, size_t begin, size_t end, uint64_t idx0,
+                            bool want_idx, internal_chain::Batch<U>& out) {
+        const std::vector<T>& part = *src(p);
+        out.vals.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) out.vals.push_back(f(part[i]));
+        if (want_idx) FillDenseIdx(out.idx, idx0, end - begin);
+      };
+    } else {
+      chain->run = [pchain, f](size_t p, size_t begin, size_t end,
+                               uint64_t idx0, bool want_idx,
+                               internal_chain::Batch<U>& out) {
+        internal_chain::Batch<T> in;
+        pchain->run(p, begin, end, idx0, want_idx, in);
+        if constexpr (std::is_same_v<T, U>) {
+          // 1:1 same-type transform: reuse the parent's buffer in place.
+          for (T& x : in.vals) x = f(std::as_const(x));
+          out.vals = std::move(in.vals);
+        } else {
+          out.vals.reserve(in.vals.size());
+          for (const T& x : in.vals) out.vals.push_back(f(x));
+        }
+        out.idx = std::move(in.idx);
+      };
+    }
+    return Dataset<U>(MakeChained<U>(impl_->ctx, chain));
   }
 
   /// Keeps elements satisfying `pred`.
   template <typename F>
   Dataset<T> Filter(F pred) const {
-    auto parent = impl_;
-    auto out = std::make_shared<internal_dataset::Impl<T>>();
-    out->ctx = parent->ctx;
-    out->num_partitions = parent->num_partitions;
-    out->compute = [parent, pred]() {
-      const auto& in = parent->Materialize();
-      Partitions<T> result(in.size());
-      parent->ctx->RunParallel(in.size(), [&](size_t i) {
-        for (const T& x : in[i]) {
-          if (pred(x)) result[i].push_back(x);
+    auto pchain = ChainFor(impl_);
+    auto chain = std::make_shared<internal_chain::NarrowChain<T>>();
+    InheritSource(*chain, *pchain);
+    if (auto src = pchain->source_part) {
+      chain->run = [src, pred](size_t p, size_t begin, size_t end,
+                               uint64_t idx0, bool want_idx,
+                               internal_chain::Batch<T>& out) {
+        const std::vector<T>& part = *src(p);
+        out.vals.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          if (pred(part[i])) {
+            out.vals.push_back(part[i]);
+            if (want_idx) out.idx.push_back(idx0 + (i - begin));
+          }
         }
-      });
-      return result;
-    };
-    return Dataset<T>(std::move(out));
+      };
+    } else {
+      chain->run = [pchain, pred](size_t p, size_t begin, size_t end,
+                                  uint64_t idx0, bool want_idx,
+                                  internal_chain::Batch<T>& out) {
+        internal_chain::Batch<T> in;
+        pchain->run(p, begin, end, idx0, want_idx, in);
+        CompactBatch(in, [&pred](const T& x, uint64_t) { return pred(x); },
+                     want_idx);
+        out = std::move(in);
+      };
+    }
+    return Dataset<T>(MakeChained<T>(impl_->ctx, chain));
   }
 
   /// Expands each element into zero or more outputs; `f` returns any
@@ -144,22 +197,83 @@ class Dataset {
       -> Dataset<typename std::decay_t<std::invoke_result_t<F, const T&>>::value_type> {
     using C = std::decay_t<std::invoke_result_t<F, const T&>>;
     using U = typename C::value_type;
-    auto parent = impl_;
-    auto out = std::make_shared<internal_dataset::Impl<U>>();
-    out->ctx = parent->ctx;
-    out->num_partitions = parent->num_partitions;
-    out->compute = [parent, f]() {
-      const auto& in = parent->Materialize();
-      Partitions<U> result(in.size());
-      parent->ctx->RunParallel(in.size(), [&](size_t i) {
-        for (const T& x : in[i]) {
-          C items = f(x);
-          for (auto& item : items) result[i].push_back(std::move(item));
-        }
-      });
-      return result;
+    auto pchain = ChainFor(impl_);
+    auto chain = std::make_shared<internal_chain::NarrowChain<U>>();
+    InheritSource(*chain, *pchain);
+    // Children get stream indices derived from the parent's, so downstream
+    // Sample stays partition-count independent.
+    auto expand = [f](const T& x, uint64_t idx, bool want_idx,
+                      internal_chain::Batch<U>& out) {
+      C items = f(x);
+      uint64_t child = Mix64(idx + 0x9e3779b97f4a7c15ull);
+      for (auto& item : items) {
+        out.vals.push_back(std::move(item));
+        if (want_idx) out.idx.push_back(child++);
+      }
     };
-    return Dataset<U>(std::move(out));
+    if (auto src = pchain->source_part) {
+      chain->run = [src, expand](size_t p, size_t begin, size_t end,
+                                 uint64_t idx0, bool want_idx,
+                                 internal_chain::Batch<U>& out) {
+        const std::vector<T>& part = *src(p);
+        for (size_t i = begin; i < end; ++i) {
+          expand(part[i], idx0 + (i - begin), want_idx, out);
+        }
+      };
+    } else {
+      chain->run = [pchain, expand](size_t p, size_t begin, size_t end,
+                                    uint64_t idx0, bool want_idx,
+                                    internal_chain::Batch<U>& out) {
+        internal_chain::Batch<T> in;
+        pchain->run(p, begin, end, idx0, want_idx, in);
+        for (size_t i = 0; i < in.vals.size(); ++i) {
+          expand(in.vals[i], want_idx ? in.idx[i] : 0, want_idx, out);
+        }
+      };
+    }
+    return Dataset<U>(MakeChained<U>(impl_->ctx, chain));
+  }
+
+  /// Bernoulli sample of roughly `fraction` of the elements. Each element's
+  /// decision hashes (seed, stable stream index), so the sampled set is
+  /// deterministic per seed and independent of `num_partitions`.
+  Dataset<T> Sample(double fraction, uint64_t seed) const {
+    auto pchain = ChainFor(impl_);
+    auto chain = std::make_shared<internal_chain::NarrowChain<T>>();
+    InheritSource(*chain, *pchain);
+    const uint64_t salt = Mix64(seed + 0x9e3779b97f4a7c15ull);
+    auto keep = [fraction, salt](uint64_t idx) {
+      uint64_t h = Mix64(idx ^ salt);
+      return static_cast<double>(h >> 11) * 0x1.0p-53 < fraction;
+    };
+    if (auto src = pchain->source_part) {
+      chain->run = [src, keep](size_t p, size_t begin, size_t end,
+                               uint64_t idx0, bool want_idx,
+                               internal_chain::Batch<T>& out) {
+        const std::vector<T>& part = *src(p);
+        for (size_t i = begin; i < end; ++i) {
+          uint64_t idx = idx0 + (i - begin);
+          if (keep(idx)) {
+            out.vals.push_back(part[i]);
+            if (want_idx) out.idx.push_back(idx);
+          }
+        }
+      };
+    } else {
+      chain->run = [pchain, keep](size_t p, size_t begin, size_t end,
+                                  uint64_t idx0, bool want_idx,
+                                  internal_chain::Batch<T>& out) {
+        internal_chain::Batch<T> in;
+        // The decision hashes the stream index, so the parent must produce
+        // indices even when our own consumer does not need them.
+        pchain->run(p, begin, end, idx0, /*want_idx=*/true, in);
+        CompactBatch(in, [&keep](const T&, uint64_t idx) { return keep(idx); },
+                     /*have_idx=*/true);
+        if (!want_idx) in.idx.clear();
+        out = std::move(in);
+      };
+    }
+    return Dataset<T>(MakeChained<T>(impl_->ctx, chain));
   }
 
   /// Concatenation (partitions of both inputs are preserved).
@@ -181,25 +295,15 @@ class Dataset {
     return Dataset<T>(std::move(out));
   }
 
-  /// Bernoulli sample of roughly `fraction` of the elements, deterministic
-  /// for a given seed.
-  Dataset<T> Sample(double fraction, uint64_t seed) const {
-    auto parent = impl_;
-    auto out = std::make_shared<internal_dataset::Impl<T>>();
-    out->ctx = parent->ctx;
-    out->num_partitions = parent->num_partitions;
-    out->compute = [parent, fraction, seed]() {
-      const auto& in = parent->Materialize();
-      Partitions<T> result(in.size());
-      parent->ctx->RunParallel(in.size(), [&](size_t i) {
-        Rng rng(seed * 0x9e3779b1u + i);
-        for (const T& x : in[i]) {
-          if (rng.Bernoulli(fraction)) result[i].push_back(x);
-        }
-      });
-      return result;
-    };
-    return Dataset<T>(std::move(out));
+  /// Marks this dataset as an explicit materialization point: downstream
+  /// narrow transformations read its memoized partitions instead of fusing
+  /// past it (and re-running its chain from the source once per consumer).
+  /// Use before branching an expensive narrow pipeline into multiple
+  /// downstream pipelines. Returns *this; materialization still happens
+  /// lazily on the first action.
+  Dataset<T> Cache() const {
+    impl_->cache_pinned.store(true, std::memory_order_release);
+    return *this;
   }
 
   /// --- wide transformations (shuffle) -------------------------------------
@@ -229,7 +333,8 @@ class Dataset {
     return Dataset<T>(std::move(out));
   }
 
-  /// Rebalances into `n` partitions (round-robin).
+  /// Rebalances into `n` partitions (round-robin), in parallel across the
+  /// output partitions.
   Dataset<T> Repartition(size_t n) const {
     CFNET_CHECK(n > 0);
     auto parent = impl_;
@@ -238,14 +343,23 @@ class Dataset {
     out->num_partitions = n;
     out->compute = [parent, n]() {
       const auto& in = parent->Materialize();
-      Partitions<T> result(n);
-      size_t idx = 0;
-      for (const auto& part : in) {
-        for (const T& x : part) {
-          result[idx % n].push_back(x);
-          ++idx;
-        }
+      std::vector<uint64_t> offsets(in.size() + 1, 0);
+      for (size_t p = 0; p < in.size(); ++p) {
+        offsets[p + 1] = offsets[p] + in[p].size();
       }
+      const uint64_t total = offsets.back();
+      Partitions<T> result(n);
+      // Each output partition r owns global indices r, r+n, r+2n, ... ; a
+      // cursor over the input partitions makes the walk O(total/n + #parts).
+      parent->ctx->RunParallel(n, [&](size_t r) {
+        const uint64_t count = total > r ? (total - r - 1) / n + 1 : 0;
+        result[r].reserve(count);
+        size_t p = 0;
+        for (uint64_t g = r; g < total; g += n) {
+          while (offsets[p + 1] <= g) ++p;
+          result[r].push_back(in[p][g - offsets[p]]);
+        }
+      });
       return result;
     };
     return Dataset<T>(std::move(out));
@@ -296,23 +410,104 @@ class Dataset {
     });
   }
 
-  /// Collects and sorts ascending by `key_fn(x)`.
+  /// Collects and sorts ascending by `key_fn(x)`. Large inputs run a
+  /// parallel sample sort: sampled splitters partition the key space into
+  /// one range per worker, ranges are gathered and sorted concurrently, and
+  /// the sorted ranges concatenate in order.
   template <typename F>
   std::vector<T> SortBy(F key_fn) const {
-    std::vector<T> all = Collect();
-    std::sort(all.begin(), all.end(), [&](const T& a, const T& b) {
+    const auto& parts = impl_->Materialize();
+    size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    ExecutionContext* ctx = impl_->ctx.get();
+    auto asc = [&key_fn](const T& a, const T& b) {
       return key_fn(a) < key_fn(b);
+    };
+    const size_t ways =
+        std::min<size_t>(ctx->parallelism(), total / kMinSortRangeSize);
+    if (ways <= 1) {
+      std::vector<T> all = Collect();
+      std::sort(all.begin(), all.end(), asc);
+      return all;
+    }
+    using K = std::decay_t<std::invoke_result_t<F, const T&>>;
+    // Evenly-strided key sample -> ways-1 splitters.
+    std::vector<K> sample;
+    const size_t stride = std::max<size_t>(1, total / (ways * 32));
+    size_t seen = 0, next = stride / 2;
+    for (const auto& part : parts) {
+      for (const T& x : part) {
+        if (seen++ == next) {
+          sample.push_back(key_fn(x));
+          next += stride;
+        }
+      }
+    }
+    std::sort(sample.begin(), sample.end());
+    std::vector<K> splitters;
+    splitters.reserve(ways - 1);
+    for (size_t s = 1; s < ways; ++s) {
+      splitters.push_back(sample[s * sample.size() / ways]);
+    }
+    // Range-bucket each partition locally, in parallel.
+    std::vector<Partitions<T>> local(parts.size());
+    ctx->RunParallel(parts.size(), [&](size_t i) {
+      local[i].assign(ways, {});
+      for (const T& x : parts[i]) {
+        size_t b = static_cast<size_t>(
+            std::upper_bound(splitters.begin(), splitters.end(), key_fn(x)) -
+            splitters.begin());
+        local[i][b].push_back(x);
+      }
     });
-    return all;
+    // Gather and sort each key range, in parallel.
+    Partitions<T> ranges(ways);
+    ctx->RunParallel(ways, [&](size_t b) {
+      size_t sz = 0;
+      for (const auto& l : local) sz += l[b].size();
+      ranges[b].reserve(sz);
+      for (auto& l : local) {
+        ranges[b].insert(ranges[b].end(), std::make_move_iterator(l[b].begin()),
+                         std::make_move_iterator(l[b].end()));
+      }
+      std::sort(ranges[b].begin(), ranges[b].end(), asc);
+    });
+    std::vector<T> out;
+    out.reserve(total);
+    for (auto& r : ranges) {
+      out.insert(out.end(), std::make_move_iterator(r.begin()),
+                 std::make_move_iterator(r.end()));
+    }
+    return out;
   }
 
-  /// Top-k elements by `key_fn`, descending.
+  /// Top-k elements by `key_fn`, descending: per-partition partial sorts in
+  /// parallel, then a merge of the k-candidate lists.
   template <typename F>
   std::vector<T> TopBy(size_t k, F key_fn) const {
-    std::vector<T> all = Collect();
+    const auto& parts = impl_->Materialize();
+    if (k == 0) return {};
+    auto desc = [&key_fn](const T& a, const T& b) {
+      return key_fn(a) > key_fn(b);
+    };
+    Partitions<T> local(parts.size());
+    impl_->ctx->RunParallel(parts.size(), [&](size_t i) {
+      std::vector<T> top(parts[i].begin(), parts[i].end());
+      if (top.size() > k) {
+        std::partial_sort(top.begin(), top.begin() + static_cast<long>(k),
+                          top.end(), desc);
+        top.resize(k);
+      }
+      local[i] = std::move(top);
+    });
+    std::vector<T> all;
+    for (auto& l : local) {
+      all.insert(all.end(), std::make_move_iterator(l.begin()),
+                 std::make_move_iterator(l.end()));
+    }
     k = std::min(k, all.size());
-    std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(),
-                      [&](const T& a, const T& b) { return key_fn(a) > key_fn(b); });
+    std::partial_sort(all.begin(), all.begin() + static_cast<long>(k),
+                      all.end(), desc);
     all.resize(k);
     return all;
   }
@@ -322,21 +517,25 @@ class Dataset {
 
   /// Hash-partitions `in` into `np` buckets by `key_of(x)` (already-hashed
   /// values). Used by every wide operation; exposed for reuse by GroupByKey
-  /// et al.
+  /// et al. A counting pass pre-sizes every bucket exactly, so the bucketing
+  /// pass never reallocates.
   template <typename KeyHashFn>
   static Partitions<T> ShuffleBy(ExecutionContext* ctx, const Partitions<T>& in,
                                  size_t np, KeyHashFn key_of) {
     // Phase 1: per input partition, bucket locally (parallel, no contention).
     std::vector<Partitions<T>> local(in.size());
     ctx->RunParallel(in.size(), [&](size_t i) {
+      std::vector<uint32_t> bucket_of(in[i].size());
+      std::vector<size_t> counts(np, 0);
+      for (size_t j = 0; j < in[i].size(); ++j) {
+        uint32_t b = static_cast<uint32_t>(MixToBucket(key_of(in[i][j]), np));
+        bucket_of[j] = b;
+        ++counts[b];
+      }
       local[i].assign(np, {});
-      for (const T& x : in[i]) {
-        size_t h = key_of(x);
-        // Mix so that sequential keys spread (std::hash<int> is identity).
-        h ^= h >> 33;
-        h *= 0xff51afd7ed558ccdull;
-        h ^= h >> 33;
-        local[i][h % np].push_back(x);
+      for (size_t b = 0; b < np; ++b) local[i][b].reserve(counts[b]);
+      for (size_t j = 0; j < in[i].size(); ++j) {
+        local[i][bucket_of[j]].push_back(in[i][j]);
       }
     });
     // Phase 2: concatenate bucket b from every input partition (parallel).
@@ -356,6 +555,104 @@ class Dataset {
   }
 
  private:
+  template <typename U>
+  friend class Dataset;
+
+  /// SortBy runs sequentially below one range per this many elements.
+  static constexpr size_t kMinSortRangeSize = 65536;
+
+  /// Mixes an already-hashed key into a bucket index so that sequential
+  /// keys spread (std::hash<int> is identity).
+  static size_t MixToBucket(size_t h, size_t np) {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return h % np;
+  }
+
+  /// The chain a new narrow op should extend: this impl's own chain while it
+  /// is still unmaterialized and not cache-pinned (fusion), otherwise a
+  /// fresh base chain streaming this impl's (to-be-)materialized partitions.
+  static std::shared_ptr<internal_chain::NarrowChain<T>> ChainFor(
+      const std::shared_ptr<internal_dataset::Impl<T>>& impl) {
+    auto chain = impl->chain;
+    if (chain && !impl->materialized.load(std::memory_order_acquire) &&
+        !impl->cache_pinned.load(std::memory_order_acquire)) {
+      return chain;
+    }
+    auto base = std::make_shared<internal_chain::NarrowChain<T>>();
+    base->materialize_source = [impl]() { impl->Materialize(); };
+    base->source_sizes = [impl]() {
+      std::vector<size_t> sizes;
+      sizes.reserve(impl->data.size());
+      for (const auto& part : impl->data) sizes.push_back(part.size());
+      return sizes;
+    };
+    base->run = [impl](size_t p, size_t begin, size_t end, uint64_t idx0,
+                       bool want_idx, internal_chain::Batch<T>& out) {
+      const std::vector<T>& part = impl->data[p];
+      out.vals.assign(part.begin() + begin, part.begin() + end);
+      if (want_idx) FillDenseIdx(out.idx, idx0, end - begin);
+    };
+    base->source_part = [impl](size_t p) { return &impl->data[p]; };
+    base->num_partitions = impl->num_partitions;
+    base->fused_ops = 0;
+    return base;
+  }
+
+  /// Appends `n` consecutive stream indices starting at `idx0`.
+  static void FillDenseIdx(std::vector<uint64_t>& idx, uint64_t idx0,
+                           size_t n) {
+    idx.reserve(idx.size() + n);
+    for (size_t i = 0; i < n; ++i) idx.push_back(idx0 + i);
+  }
+
+  /// In-place filter of a batch: keeps elements where `keep(val, idx)` holds,
+  /// compacting `vals` (and `idx`, when populated) without reallocating.
+  template <typename Keep>
+  static void CompactBatch(internal_chain::Batch<T>& b, Keep keep,
+                           bool have_idx) {
+    size_t w = 0;
+    const size_t n = b.vals.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (keep(b.vals[i], have_idx ? b.idx[i] : 0)) {
+        if (w != i) {
+          b.vals[w] = std::move(b.vals[i]);
+          if (have_idx) b.idx[w] = b.idx[i];
+        }
+        ++w;
+      }
+    }
+    b.vals.resize(w);
+    if (have_idx) b.idx.resize(w);
+  }
+
+  /// Copies source plumbing from the parent chain and counts the new op.
+  template <typename U, typename S>
+  static void InheritSource(internal_chain::NarrowChain<U>& chain,
+                            const internal_chain::NarrowChain<S>& parent) {
+    chain.materialize_source = parent.materialize_source;
+    chain.source_sizes = parent.source_sizes;
+    chain.num_partitions = parent.num_partitions;
+    chain.fused_ops = parent.fused_ops + 1;
+  }
+
+  /// Wraps a fused chain in a lazy impl whose compute runs it as one
+  /// morsel-driven stage.
+  template <typename U>
+  static std::shared_ptr<internal_dataset::Impl<U>> MakeChained(
+      std::shared_ptr<ExecutionContext> ctx,
+      std::shared_ptr<internal_chain::NarrowChain<U>> chain) {
+    auto out = std::make_shared<internal_dataset::Impl<U>>();
+    out->ctx = ctx;
+    out->num_partitions = chain->num_partitions;
+    out->chain = chain;
+    out->compute = [ctx, chain]() {
+      return internal_chain::ExecuteNarrowStage<U>(*ctx, *chain);
+    };
+    return out;
+  }
+
   std::shared_ptr<internal_dataset::Impl<T>> impl_;
 };
 

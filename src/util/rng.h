@@ -8,6 +8,12 @@
 
 namespace cfnet {
 
+/// SplitMix64 finalizer: a fast, statistically strong 64-bit bit mixer.
+/// Use for stateless per-index hashes (e.g. the dataflow engine's
+/// partition-count-independent sampling decisions). Mix64(0) == 0, so salt
+/// the input when zero inputs are possible.
+uint64_t Mix64(uint64_t x);
+
 /// Deterministic pseudo-random source (xoshiro256** seeded via SplitMix64)
 /// plus the sampling distributions used across the synthetic-world generator
 /// and the analyses. Every stochastic component in cfnet draws from an Rng

@@ -14,8 +14,9 @@ namespace cfnet {
 /// Fixed-size worker pool used by the dataflow engine and the crawler.
 ///
 /// Tasks are arbitrary void() callables; `Submit` additionally returns a
-/// future for result/ exception-free completion tracking. Destruction joins
-/// all workers after draining the queue.
+/// future for result/ exception-free completion tracking. `RunBulk` runs an
+/// indexed task set through a single shared work-claiming loop. Destruction
+/// joins all workers after draining the queue.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (minimum 1).
@@ -37,6 +38,17 @@ class ThreadPool {
     Schedule([task]() { (*task)(); });
     return fut;
   }
+
+  /// Runs fn(0..n-1) and blocks until all complete. One shared state (an
+  /// atomic claim counter + a completion latch) serves the whole batch
+  /// instead of n queued closures; up to num_threads() helper tasks join in,
+  /// and the caller participates in the claim loop too ("caller runs"), so
+  /// the batch always makes progress even when invoked from inside a pool
+  /// worker with every other worker busy — nested bulk runs cannot deadlock.
+  ///
+  /// If any fn(i) throws, the first exception is rethrown in the caller
+  /// after the batch drains; indices claimed after the failure are skipped.
+  void RunBulk(size_t n, const std::function<void(size_t)>& fn);
 
   /// Blocks until the queue is empty and all in-flight tasks finished.
   void Wait();
