@@ -1,0 +1,215 @@
+// Snapshot ingest throughput: DOM parsing (json::Parse + FromJson) vs the
+// streaming zero-copy decoder (JsonReader + Decode) vs the parallel sharded
+// scan (ScanJsonLines) at several thread counts, plus the to_chars-based
+// serialization path. Results are written as machine-readable JSON for
+// before/after comparison (--json=PATH, default BENCH_ingest.json;
+// --records=N and --shards=S set the workload size/layout).
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/records.h"
+#include "dfs/dfs.h"
+#include "dfs/jsonl.h"
+#include "json/json.h"
+#include "json/reader.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cfnet::bench {
+namespace {
+
+using core::StartupRecord;
+
+/// One synthetic startup snapshot line — field mix matching the crawler's
+/// output (ids, urls, counters, the occasional escape, fields the decoder
+/// skips) so the decode cost is representative.
+json::Json MakeDoc(uint64_t i, Rng& rng) {
+  json::Json doc = json::Json::MakeObject();
+  doc.Set("id", static_cast<int64_t>(i + 1));
+  doc.Set("name", "Startup \"" + std::to_string(i) + "\" Inc.\n");
+  doc.Set("twitter_url",
+          rng.NextDouble() < 0.6 ? "https://twitter.com/s" + std::to_string(i) : "");
+  doc.Set("facebook_url",
+          rng.NextDouble() < 0.5 ? "https://facebook.com/s" + std::to_string(i) : "");
+  doc.Set("crunchbase_url",
+          rng.NextDouble() < 0.4 ? "https://crunchbase.com/s" + std::to_string(i) : "");
+  doc.Set("video_url", rng.NextDouble() < 0.2 ? "https://v/" + std::to_string(i) : "");
+  doc.Set("fundraising", rng.NextDouble() < 0.3);
+  doc.Set("follower_count", static_cast<int64_t>(rng.Next() % 100000));
+  doc.Set("quality", static_cast<double>(rng.NextDouble() * 10.0));
+  // Skipped by the decoder: exercises SkipValue on composites.
+  json::Json markets = json::Json::MakeArray();
+  markets.Append("b2b");
+  markets.Append("saas");
+  doc.Set("markets", markets);
+  return doc;
+}
+
+struct Timing {
+  double ms_per_rep = 0;
+};
+
+template <typename F>
+Timing Time(F&& fn, int reps) {
+  fn();  // warmup
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  auto t1 = std::chrono::steady_clock::now();
+  Timing t;
+  t.ms_per_rep = std::chrono::duration<double, std::milli>(t1 - t0).count() /
+                 static_cast<double>(reps);
+  return t;
+}
+
+void RunIngestBench(const cfnet::FlagParser& flags) {
+  const size_t n = static_cast<size_t>(flags.GetInt("records", 200000));
+  const size_t shards = static_cast<size_t>(flags.GetInt("shards", 4));
+  const std::string path = flags.GetString("json", "BENCH_ingest.json");
+  const int reps = static_cast<int>(flags.GetInt("reps", 5));
+
+  // Build the snapshot corpus once.
+  Rng rng(20260806);
+  std::vector<json::Json> docs;
+  docs.reserve(n);
+  for (size_t i = 0; i < n; ++i) docs.push_back(MakeDoc(i, rng));
+
+  dfs::MiniDfs dfs;
+  std::vector<std::string> paths;
+  uint64_t total_bytes = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    std::string shard_path = "/bench/startups/part-" + std::to_string(s);
+    dfs::JsonLinesWriter writer(&dfs, shard_path);
+    for (size_t i = s; i < n; i += shards) {
+      CFNET_CHECK(writer.Write(docs[i]).ok());
+    }
+    CFNET_CHECK(writer.Flush().ok());
+    paths.push_back(shard_path);
+    total_bytes += *dfs.FileSize(shard_path);
+  }
+  const double mb = static_cast<double>(total_bytes) / 1e6;
+
+  json::Json out_doc = json::Json::MakeObject();
+  out_doc.Set("bench", "bench_ingest");
+  out_doc.Set("records", static_cast<int64_t>(n));
+  out_doc.Set("shards", static_cast<int64_t>(shards));
+  out_doc.Set("bytes", static_cast<int64_t>(total_bytes));
+  out_doc.Set("hardware_threads",
+              static_cast<int64_t>(ThreadPool::DefaultParallelism()));
+  json::Json workloads = json::Json::MakeArray();
+
+  auto emit = [&workloads, n, mb](const std::string& name, const Timing& t) {
+    json::Json w = json::Json::MakeObject();
+    w.Set("name", name);
+    w.Set("ms_per_rep", t.ms_per_rep);
+    w.Set("records_per_sec",
+          t.ms_per_rep > 0 ? static_cast<double>(n) / t.ms_per_rep * 1e3 : 0.0);
+    w.Set("mb_per_sec", t.ms_per_rep > 0 ? mb / t.ms_per_rep * 1e3 : 0.0);
+    workloads.Append(std::move(w));
+    std::printf("%-18s %9.2f ms  %8.2f MB/s  %7.1f krec/s\n", name.c_str(),
+                t.ms_per_rep, mb / t.ms_per_rep * 1e3,
+                static_cast<double>(n) / t.ms_per_rep);
+    return t.ms_per_rep;
+  };
+
+  Section("Snapshot ingest throughput (" + std::to_string(n) + " records, " +
+          std::to_string(shards) + " shards)");
+
+  // Serialization: Json::AppendTo into a reused buffer — the JsonLinesWriter
+  // hot path, minus the MiniDfs append (which rewrites whole files and would
+  // swamp the measurement).
+  std::string serialize_buf;
+  emit("dump_serialize", Time([&]() {
+    serialize_buf.clear();
+    for (const json::Json& d : docs) {
+      d.AppendTo(serialize_buf);
+      serialize_buf += '\n';
+    }
+    benchmark::DoNotOptimize(serialize_buf.data());
+  }, reps));
+
+  // Baseline ingest: DOM parse per line, then FromJson — the pre-streaming
+  // LoadInputs path.
+  const double dom_ms = emit("dom_parse", Time([&]() {
+    int64_t sum = 0;
+    for (const std::string& p : paths) {
+      auto records = dfs::ReadJsonLines(dfs, p);
+      CFNET_CHECK(records.ok());
+      for (const json::Json& j : *records) {
+        sum += StartupRecord::FromJson(j).follower_count;
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }, reps));
+
+  auto scan_startups = [&](ThreadPool* pool) {
+    dfs::ScanOptions options;
+    options.pool = pool;
+    auto decode = [](std::string_view line) -> Result<StartupRecord> {
+      json::JsonReader reader(line);
+      CFNET_ASSIGN_OR_RETURN(StartupRecord rec, StartupRecord::Decode(reader));
+      CFNET_RETURN_IF_ERROR(reader.Finish());
+      return rec;
+    };
+    auto parts = dfs::ScanJsonLines<StartupRecord>(dfs, paths, decode, options);
+    CFNET_CHECK(parts.ok());
+    int64_t sum = 0;
+    for (const auto& part : *parts) {
+      for (const StartupRecord& r : part) sum += r.follower_count;
+    }
+    benchmark::DoNotOptimize(sum);
+  };
+
+  // Streaming decoder, single-threaded: same records, no DOM allocation.
+  const double stream_ms =
+      emit("stream_decode", Time([&]() { scan_startups(nullptr); }, reps));
+
+  // Parallel scan at fixed thread counts.
+  json::Json scaling = json::Json::MakeArray();
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ThreadPool pool(threads);
+    double ms = emit("scan_threads_" + std::to_string(threads),
+                     Time([&]() { scan_startups(&pool); }, reps));
+    json::Json s = json::Json::MakeObject();
+    s.Set("threads", static_cast<int64_t>(threads));
+    s.Set("ms_per_rep", ms);
+    s.Set("speedup_vs_1t", 0.0);  // filled below once 1t is known
+    scaling.Append(std::move(s));
+  }
+  // Fill speedups relative to the single-thread scan.
+  const double base_ms = scaling.at(0).Get("ms_per_rep").AsDouble();
+  json::Json scaling_filled = json::Json::MakeArray();
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    json::Json s = scaling.at(i);
+    double ms = s.Get("ms_per_rep").AsDouble();
+    s.Set("speedup_vs_1t", ms > 0 ? base_ms / ms : 0.0);
+    scaling_filled.Append(std::move(s));
+  }
+
+  out_doc.Set("workloads", std::move(workloads));
+  out_doc.Set("scan_scaling", std::move(scaling_filled));
+  out_doc.Set("stream_vs_dom_speedup",
+              stream_ms > 0 ? dom_ms / stream_ms : 0.0);
+  std::printf("stream_decode speedup vs dom_parse: %.2fx\n",
+              stream_ms > 0 ? dom_ms / stream_ms : 0.0);
+
+  std::ofstream out(path);
+  out << out_doc.Dump(2) << "\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace cfnet::bench
+
+int main(int argc, char** argv) {
+  cfnet::FlagParser flags(argc, argv);
+  cfnet::bench::RunIngestBench(flags);
+  return 0;
+}

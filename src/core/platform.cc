@@ -24,20 +24,47 @@ Status ExploratoryPlatform::CollectData() {
   return Status::OK();
 }
 
+namespace {
+
+/// Decodes one typed snapshot directory with the streaming scan: every shard
+/// is split into line-aligned ranges, each range decoded DOM-free on the
+/// analytics pool, and the flattened result is the typed record vector.
+template <typename T>
+Result<std::vector<T>> LoadTypedSnapshot(
+    const dfs::MiniDfs& dfs, const std::vector<std::string>& files,
+    dataflow::ExecutionContext* ctx) {
+  dfs::ScanOptions scan;
+  scan.pool = &ctx->pool();
+  auto decode = [](std::string_view line) -> Result<T> {
+    json::JsonReader reader(line);
+    CFNET_ASSIGN_OR_RETURN(T record, T::Decode(reader));
+    CFNET_RETURN_IF_ERROR(reader.Finish());
+    return record;
+  };
+  CFNET_ASSIGN_OR_RETURN(auto parts,
+                         dfs::ScanJsonLines<T>(dfs, files, decode, scan));
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<T> out;
+  out.reserve(total);
+  for (auto& p : parts) {
+    out.insert(out.end(), std::make_move_iterator(p.begin()),
+               std::make_move_iterator(p.end()));
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<dataflow::Dataset<json::Json>> ExploratoryPlatform::LoadSnapshotDataset(
     const std::string& dir) {
-  std::vector<std::string> files = dfs_->List(dir);
-  // One partition per snapshot shard; each task parses its whole file.
-  auto paths = dataflow::Dataset<std::string>::FromVector(
-      ctx_, files, std::max<size_t>(1, files.size()));
-  dfs::MiniDfs* dfs = dfs_.get();
-  auto docs = paths.FlatMap([dfs](const std::string& path) {
-    auto records = dfs::ReadJsonLines(*dfs, path);
-    CFNET_CHECK(records.ok()) << "snapshot read failed: "
-                              << records.status().ToString();
-    return std::move(records).value();
-  });
-  return docs;
+  // Parallel scan over the snapshot shards; the pre-partitioned ranges feed
+  // the dataset directly, so no repartition pass runs.
+  dfs::ScanOptions scan;
+  scan.pool = &ctx_->pool();
+  CFNET_ASSIGN_OR_RETURN(
+      auto parts, dfs::ScanJsonLinesDom(*dfs_, dfs_->List(dir), scan));
+  return dataflow::Dataset<json::Json>::FromPartitions(ctx_, std::move(parts));
 }
 
 Result<AnalysisInputs> ExploratoryPlatform::LoadInputs() {
@@ -47,41 +74,26 @@ Result<AnalysisInputs> ExploratoryPlatform::LoadInputs() {
   if (cached_inputs_ != nullptr) return *cached_inputs_;
 
   AnalysisInputs inputs;
-  {
-    CFNET_ASSIGN_OR_RETURN(auto docs,
-                           LoadSnapshotDataset(crawler_->StartupSnapshotDir()));
-    inputs.startups =
-        docs.Map([](const json::Json& j) { return StartupRecord::FromJson(j); })
-            .Collect();
-  }
-  {
-    CFNET_ASSIGN_OR_RETURN(auto docs,
-                           LoadSnapshotDataset(crawler_->UserSnapshotDir()));
-    inputs.users =
-        docs.Map([](const json::Json& j) { return UserRecord::FromJson(j); })
-            .Collect();
-  }
-  {
-    CFNET_ASSIGN_OR_RETURN(
-        auto docs, LoadSnapshotDataset(crawler_->CrunchBaseSnapshotDir()));
-    inputs.crunchbase =
-        docs.Map([](const json::Json& j) { return CrunchBaseRecord::FromJson(j); })
-            .Collect();
-  }
-  {
-    CFNET_ASSIGN_OR_RETURN(auto docs,
-                           LoadSnapshotDataset(crawler_->FacebookSnapshotDir()));
-    inputs.facebook =
-        docs.Map([](const json::Json& j) { return FacebookRecord::FromJson(j); })
-            .Collect();
-  }
-  {
-    CFNET_ASSIGN_OR_RETURN(auto docs,
-                           LoadSnapshotDataset(crawler_->TwitterSnapshotDir()));
-    inputs.twitter =
-        docs.Map([](const json::Json& j) { return TwitterRecord::FromJson(j); })
-            .Collect();
-  }
+  CFNET_ASSIGN_OR_RETURN(
+      inputs.startups,
+      LoadTypedSnapshot<StartupRecord>(
+          *dfs_, dfs_->List(crawler_->StartupSnapshotDir()), ctx_.get()));
+  CFNET_ASSIGN_OR_RETURN(
+      inputs.users,
+      LoadTypedSnapshot<UserRecord>(
+          *dfs_, dfs_->List(crawler_->UserSnapshotDir()), ctx_.get()));
+  CFNET_ASSIGN_OR_RETURN(
+      inputs.crunchbase,
+      LoadTypedSnapshot<CrunchBaseRecord>(
+          *dfs_, dfs_->List(crawler_->CrunchBaseSnapshotDir()), ctx_.get()));
+  CFNET_ASSIGN_OR_RETURN(
+      inputs.facebook,
+      LoadTypedSnapshot<FacebookRecord>(
+          *dfs_, dfs_->List(crawler_->FacebookSnapshotDir()), ctx_.get()));
+  CFNET_ASSIGN_OR_RETURN(
+      inputs.twitter,
+      LoadTypedSnapshot<TwitterRecord>(
+          *dfs_, dfs_->List(crawler_->TwitterSnapshotDir()), ctx_.get()));
   cached_inputs_ = std::make_unique<AnalysisInputs>(inputs);
   return inputs;
 }

@@ -6,11 +6,20 @@
 #include <vector>
 
 #include "json/json.h"
+#include "json/reader.h"
+#include "util/result.h"
 
 namespace cfnet::core {
 
 /// Typed views of the crawler's JSON-lines snapshots. These are what the
 /// Spark-style analyses operate on after the cleaning/extraction stage.
+///
+/// Each record type offers two decoders with identical semantics (pinned by
+/// the differential test in ingest_scan_test):
+///   - `FromJson(const Json&)` — from an already-parsed DOM; total (bad or
+///     missing fields coerce to neutral defaults, never fail).
+///   - `Decode(JsonReader&)` — streaming, DOM-free; fails only on malformed
+///     JSON, exactly when `json::Parse` would. The hot ingest path.
 
 struct StartupRecord {
   uint64_t id = 0;
@@ -23,6 +32,7 @@ struct StartupRecord {
   int64_t follower_count = 0;
 
   static StartupRecord FromJson(const json::Json& j);
+  static Result<StartupRecord> Decode(json::JsonReader& reader);
 };
 
 struct UserRecord {
@@ -35,6 +45,7 @@ struct UserRecord {
   int64_t following_user_count = 0;
 
   static UserRecord FromJson(const json::Json& j);
+  static Result<UserRecord> Decode(json::JsonReader& reader);
 };
 
 struct CrunchBaseRecord {
@@ -47,6 +58,7 @@ struct CrunchBaseRecord {
   bool funded() const { return total_funding_usd > 0 || num_rounds > 0; }
 
   static CrunchBaseRecord FromJson(const json::Json& j);
+  static Result<CrunchBaseRecord> Decode(json::JsonReader& reader);
 };
 
 struct FacebookRecord {
@@ -54,6 +66,7 @@ struct FacebookRecord {
   int64_t fan_count = 0;  // likes
 
   static FacebookRecord FromJson(const json::Json& j);
+  static Result<FacebookRecord> Decode(json::JsonReader& reader);
 };
 
 struct TwitterRecord {
@@ -63,6 +76,7 @@ struct TwitterRecord {
   bool followers_count_null = false;
 
   static TwitterRecord FromJson(const json::Json& j);
+  static Result<TwitterRecord> Decode(json::JsonReader& reader);
 };
 
 }  // namespace cfnet::core

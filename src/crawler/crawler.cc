@@ -8,6 +8,7 @@
 
 #include "crawler/checkpoint.h"
 #include "dfs/jsonl.h"
+#include "json/reader.h"
 #include "net/urls.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -694,12 +695,26 @@ Status Crawler::ReplayDeadLetters() {
     std::vector<std::string> files = dfs_->List(dir);
     if (files.empty()) continue;
     std::set<uint64_t> ids;  // dedup + deterministic replay order
+    // Streaming id extraction: dead-letter lines carry several fields, but
+    // only "id" matters here — no DOM per line.
+    auto decode_id = [](std::string_view line) -> Result<uint64_t> {
+      json::JsonReader reader(line);
+      uint64_t id = 0;
+      CFNET_RETURN_IF_ERROR(
+          reader.ForEachMember([&](std::string_view key) -> Status {
+            if (key != "id") return reader.SkipValue();
+            CFNET_ASSIGN_OR_RETURN(json::JsonReader::Scalar v,
+                                   reader.ReadScalar());
+            id = static_cast<uint64_t>(v.AsInt());
+            return Status::OK();
+          }));
+      CFNET_RETURN_IF_ERROR(reader.Finish());
+      return id;
+    };
+    CFNET_ASSIGN_OR_RETURN(auto id_parts,
+                           dfs::ScanJsonLines<uint64_t>(*dfs_, files, decode_id));
+    for (const auto& part : id_parts) ids.insert(part.begin(), part.end());
     for (const std::string& f : files) {
-      auto records = dfs::ReadJsonLines(*dfs_, f);
-      if (!records.ok()) return records.status();
-      for (const json::Json& r : *records) {
-        ids.insert(static_cast<uint64_t>(r.Get("id").AsInt()));
-      }
       CFNET_RETURN_IF_ERROR(dfs_->Delete(f));
       snapshot_base_counts_.erase(f);
     }

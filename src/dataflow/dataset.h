@@ -115,6 +115,22 @@ class Dataset {
     return Dataset(std::move(impl));
   }
 
+  /// Creates a dataset directly from pre-built partitions, keeping their
+  /// layout as-is (no repartition pass). This is how parallel scans hand
+  /// their per-range outputs to the dataflow layer. An empty `parts` becomes
+  /// one empty partition.
+  static Dataset FromPartitions(std::shared_ptr<ExecutionContext> ctx,
+                                Partitions<T> parts) {
+    CFNET_CHECK(ctx != nullptr);
+    if (parts.empty()) parts.emplace_back();
+    auto impl = std::make_shared<internal_dataset::Impl<T>>();
+    impl->ctx = ctx;
+    impl->num_partitions = parts.size();
+    auto shared = std::make_shared<Partitions<T>>(std::move(parts));
+    impl->compute = [shared]() { return std::move(*shared); };
+    return Dataset(std::move(impl));
+  }
+
   std::shared_ptr<ExecutionContext> context() const { return impl_->ctx; }
   size_t num_partitions() const { return impl_->num_partitions; }
 

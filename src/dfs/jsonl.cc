@@ -11,7 +11,7 @@ JsonLinesWriter::JsonLinesWriter(MiniDfs* dfs, std::string path,
 JsonLinesWriter::~JsonLinesWriter() { Flush().ok(); }
 
 Status JsonLinesWriter::Write(const json::Json& record) {
-  buffer_ += record.Dump();
+  record.AppendTo(buffer_);
   buffer_ += '\n';
   ++records_written_;
   if (buffer_.size() >= flush_bytes_) return Flush();
@@ -83,6 +83,71 @@ Status TruncateJsonLines(MiniDfs* dfs, const std::string& path,
   if (start >= content.size()) return Status::OK();  // already short enough
   content.resize(start);
   return dfs->WriteFile(path, content);
+}
+
+namespace internal_scan {
+
+Result<std::vector<std::string>> LoadShardContents(
+    const MiniDfs& dfs, const std::vector<std::string>& paths) {
+  std::vector<std::string> contents;
+  contents.reserve(paths.size());
+  for (const std::string& path : paths) {
+    CFNET_ASSIGN_OR_RETURN(std::string content, dfs.ReadFile(path));
+    contents.push_back(std::move(content));
+  }
+  return contents;
+}
+
+std::vector<LineRange> SplitLineRanges(const std::vector<std::string>& contents,
+                                       size_t target_ranges,
+                                       size_t min_range_bytes) {
+  uint64_t total_bytes = 0;
+  for (const std::string& c : contents) total_bytes += c.size();
+  std::vector<LineRange> ranges;
+  if (total_bytes == 0) {
+    // Degenerate but non-empty result so ScanJsonLines always yields at
+    // least one (possibly empty) partition.
+    ranges.push_back(LineRange{});
+    return ranges;
+  }
+  // Each file gets a proportional share of the target, then chunk boundaries
+  // advance to the next line start so every range is line-aligned.
+  const uint64_t chunk_bytes = std::max<uint64_t>(
+      min_range_bytes, (total_bytes + target_ranges - 1) / target_ranges);
+  for (size_t f = 0; f < contents.size(); ++f) {
+    const std::string& content = contents[f];
+    if (content.empty()) continue;
+    size_t begin = 0;
+    int64_t first_line = 1;
+    while (begin < content.size()) {
+      size_t end = begin + chunk_bytes;
+      if (end >= content.size()) {
+        end = content.size();
+      } else {
+        size_t nl = content.find('\n', end - 1);
+        end = (nl == std::string::npos) ? content.size() : nl + 1;
+      }
+      ranges.push_back(LineRange{f, begin, end, first_line});
+      // Line numbers count every line (blank included), matching
+      // ReadJsonLines error reporting.
+      first_line +=
+          std::count(content.begin() + static_cast<long>(begin),
+                     content.begin() + static_cast<long>(end), '\n');
+      begin = end;
+    }
+  }
+  if (ranges.empty()) ranges.push_back(LineRange{});
+  return ranges;
+}
+
+}  // namespace internal_scan
+
+Result<std::vector<std::vector<json::Json>>> ScanJsonLinesDom(
+    const MiniDfs& dfs, const std::vector<std::string>& paths,
+    const ScanOptions& options) {
+  return ScanJsonLines<json::Json>(
+      dfs, paths, [](std::string_view line) { return json::Parse(line); },
+      options);
 }
 
 }  // namespace cfnet::dfs

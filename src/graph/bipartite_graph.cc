@@ -18,6 +18,11 @@ BipartiteGraph BipartiteGraph::FromEdges(
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
 
   // Dense ids. Left ids appear grouped already; right ids need a sorted set.
+  size_t left_count = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i == 0 || sorted[i].first != sorted[i - 1].first) ++left_count;
+  }
+  g.left_ids_.reserve(left_count);
   for (const auto& [l, r] : sorted) {
     if (g.left_ids_.empty() || g.left_ids_.back() != l) g.left_ids_.push_back(l);
   }
@@ -104,7 +109,12 @@ size_t BipartiteGraph::SharedOutNeighbors(uint32_t l1, uint32_t l2) const {
 }
 
 BipartiteGraph BipartiteGraph::FilterLeftByMinDegree(size_t min_degree) const {
+  size_t kept_edges = 0;
+  for (uint32_t l = 0; l < num_left(); ++l) {
+    if (OutDegree(l) >= min_degree) kept_edges += OutDegree(l);
+  }
   std::vector<std::pair<uint64_t, uint64_t>> kept;
+  kept.reserve(kept_edges);
   for (uint32_t l = 0; l < num_left(); ++l) {
     if (OutDegree(l) < min_degree) continue;
     for (uint32_t r : OutNeighbors(l)) {

@@ -1,8 +1,10 @@
 #include "json/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <system_error>
 
 #include "util/string_util.h"
 
@@ -15,8 +17,8 @@ size_t Json::size() const {
 }
 
 const Json& Json::at(size_t i) const {
-  static const Json* null_json = new Json;
-  if (!is_array() || i >= array_.size()) return *null_json;
+  static const Json null_json;
+  if (!is_array() || i >= array_.size()) return null_json;
   return array_[i];
 }
 
@@ -35,12 +37,12 @@ bool Json::Has(std::string_view key) const {
 }
 
 const Json& Json::Get(std::string_view key) const {
-  static const Json* null_json = new Json;
-  if (!is_object()) return *null_json;
+  static const Json null_json;
+  if (!is_object()) return null_json;
   for (const auto& [k, v] : object_) {
     if (k == key) return v;
   }
-  return *null_json;
+  return null_json;
 }
 
 void Json::Set(std::string_view key, Json v) {
@@ -80,42 +82,53 @@ bool operator==(const Json& a, const Json& b) {
   return false;
 }
 
+void AppendEscapedString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  size_t plain = 0;  // start of the pending run of escape-free bytes
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    const char* esc = nullptr;
+    switch (c) {
+      case '"':
+        esc = "\\\"";
+        break;
+      case '\\':
+        esc = "\\\\";
+        break;
+      case '\n':
+        esc = "\\n";
+        break;
+      case '\r':
+        esc = "\\r";
+        break;
+      case '\t':
+        esc = "\\t";
+        break;
+      case '\b':
+        esc = "\\b";
+        break;
+      case '\f':
+        esc = "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) continue;
+    }
+    out.append(s, plain, i - plain);
+    if (esc != nullptr) {
+      out.append(esc);
+    } else {
+      out += StrFormat("\\u%04x", c);
+    }
+    plain = i + 1;
+  }
+  out.append(s, plain, s.size() - plain);
+  out.push_back('"');
+}
+
 std::string EscapeString(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);
-  out.push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\b':
-        out += "\\b";
-        break;
-      case '\f':
-        out += "\\f";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
+  AppendEscapedString(out, s);
   return out;
 }
 
@@ -133,21 +146,26 @@ void Json::DumpTo(std::string& out, int indent, int depth) const {
     case Type::kBool:
       out += bool_ ? "true" : "false";
       break;
-    case Type::kInt:
-      out += std::to_string(int_);
+    case Type::kInt: {
+      char buf[24];
+      auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), int_);
+      out.append(buf, p);
       break;
+    }
     case Type::kDouble: {
       if (std::isfinite(double_)) {
+        // Shortest round-trip form (to_chars), not %.17g: "0.1" instead of
+        // "0.10000000000000001" — smaller output and an exact reparse.
         char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.17g", double_);
-        out += buf;
+        auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), double_);
+        out.append(buf, p);
       } else {
         out += "null";  // JSON has no Inf/NaN
       }
       break;
     }
     case Type::kString:
-      out += EscapeString(string_);
+      AppendEscapedString(out, string_);
       break;
     case Type::kArray: {
       out.push_back('[');
@@ -165,7 +183,7 @@ void Json::DumpTo(std::string& out, int indent, int depth) const {
       for (size_t i = 0; i < object_.size(); ++i) {
         if (i > 0) out.push_back(',');
         newline(depth + 1);
-        out += EscapeString(object_[i].first);
+        AppendEscapedString(out, object_[i].first);
         out.push_back(':');
         if (indent >= 0) out.push_back(' ');
         object_[i].second.DumpTo(out, indent, depth + 1);

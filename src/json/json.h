@@ -80,8 +80,13 @@ class Json {
     return fallback;
   }
   const std::string& AsString() const {
-    static const std::string* empty = new std::string;
-    return is_string() ? string_ : *empty;
+    static const std::string empty;
+    return is_string() ? string_ : empty;
+  }
+  /// Allocation-free view of a string value ("" for other types) — prefer
+  /// this over AsString() when the caller only compares or copies out.
+  std::string_view AsStringView() const {
+    return is_string() ? std::string_view(string_) : std::string_view();
   }
 
   /// Array access. `at(i)` on non-array or out of range returns Null.
@@ -97,16 +102,20 @@ class Json {
   void Set(std::string_view key, Json v);
 
   const Array& array() const {
-    static const Array* empty = new Array;
-    return is_array() ? array_ : *empty;
+    static const Array empty;
+    return is_array() ? array_ : empty;
   }
   const Object& object() const {
-    static const Object* empty = new Object;
-    return is_object() ? object_ : *empty;
+    static const Object empty;
+    return is_object() ? object_ : empty;
   }
 
   /// Compact serialization ("{"a":1}"); `indent >= 0` pretty-prints.
   std::string Dump(int indent = -1) const;
+
+  /// Appends the compact serialization to `out` — the allocation-free path
+  /// snapshot writers use (one shared buffer instead of a string per record).
+  void AppendTo(std::string& out) const { DumpTo(out, -1, 0); }
 
   friend bool operator==(const Json& a, const Json& b);
 
@@ -127,6 +136,9 @@ Result<Json> Parse(std::string_view text);
 
 /// Escapes `s` as a JSON string literal (with surrounding quotes).
 std::string EscapeString(std::string_view s);
+
+/// Appends the escaped literal to `out` without a temporary string.
+void AppendEscapedString(std::string& out, std::string_view s);
 
 }  // namespace cfnet::json
 

@@ -1,0 +1,377 @@
+#include "json/reader.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+
+namespace cfnet::json {
+namespace {
+
+/// Rebuilds a DOM from the streaming reader via the low-level stepping API.
+/// Used to compare the two parsers value-for-value on arbitrary documents.
+Result<Json> Reconstruct(JsonReader& r) {
+  CFNET_ASSIGN_OR_RETURN(bool is_object, r.EnterObject());
+  if (is_object) {
+    Json out = Json::MakeObject();
+    std::string_view key;
+    for (;;) {
+      CFNET_ASSIGN_OR_RETURN(bool more, r.NextMember(key));
+      if (!more) return out;
+      std::string k(key);  // Set() after the next reader call needs a copy
+      CFNET_ASSIGN_OR_RETURN(Json v, Reconstruct(r));
+      out.Set(k, std::move(v));
+    }
+  }
+  CFNET_ASSIGN_OR_RETURN(bool is_array, r.EnterArray());
+  if (is_array) {
+    Json out = Json::MakeArray();
+    for (;;) {
+      CFNET_ASSIGN_OR_RETURN(bool more, r.NextElement());
+      if (!more) return out;
+      CFNET_ASSIGN_OR_RETURN(Json v, Reconstruct(r));
+      out.Append(std::move(v));
+    }
+  }
+  CFNET_ASSIGN_OR_RETURN(JsonReader::Scalar s, r.ReadScalar());
+  switch (s.kind) {
+    case JsonReader::Scalar::Kind::kNull:
+      return Json();
+    case JsonReader::Scalar::Kind::kBool:
+      return Json(s.b);
+    case JsonReader::Scalar::Kind::kInt:
+      return Json(s.i);
+    case JsonReader::Scalar::Kind::kDouble:
+      return Json(s.d);
+    case JsonReader::Scalar::Kind::kString:
+      return Json(std::string(s.s));
+    case JsonReader::Scalar::Kind::kComposite:
+      ADD_FAILURE() << "composite scalar after Enter* returned false";
+      return Json();
+  }
+  return Json();
+}
+
+Result<Json> StreamParse(std::string_view doc) {
+  JsonReader r(doc);
+  CFNET_ASSIGN_OR_RETURN(Json v, Reconstruct(r));
+  CFNET_RETURN_IF_ERROR(r.Finish());
+  return v;
+}
+
+/// Type-strict deep equality: operator== treats 1 and 1.0 as equal, but the
+/// two parsers must agree on the exact representation (and on double bits).
+bool StrictEq(const Json& a, const Json& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case Json::Type::kNull:
+      return true;
+    case Json::Type::kBool:
+      return a.AsBool() == b.AsBool();
+    case Json::Type::kInt:
+      return a.AsInt() == b.AsInt();
+    case Json::Type::kDouble: {
+      uint64_t ba = 0;
+      uint64_t bb = 0;
+      double da = a.AsDouble();
+      double db = b.AsDouble();
+      std::memcpy(&ba, &da, sizeof(ba));
+      std::memcpy(&bb, &db, sizeof(bb));
+      return ba == bb || (std::isnan(da) && std::isnan(db));
+    }
+    case Json::Type::kString:
+      return a.AsString() == b.AsString();
+    case Json::Type::kArray: {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!StrictEq(a.at(i), b.at(i))) return false;
+      }
+      return true;
+    }
+    case Json::Type::kObject: {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a.object()[i].first != b.object()[i].first) return false;
+        if (!StrictEq(a.object()[i].second, b.object()[i].second)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void ExpectSameVerdict(std::string_view doc) {
+  Result<Json> dom = Parse(doc);
+  Result<Json> streamed = StreamParse(doc);
+  ASSERT_EQ(dom.ok(), streamed.ok())
+      << "doc: " << doc << "\ndom: "
+      << (dom.ok() ? "ok" : dom.status().ToString()) << "\nstream: "
+      << (streamed.ok() ? "ok" : streamed.status().ToString());
+  if (!dom.ok()) {
+    EXPECT_EQ(dom.status().ToString(), streamed.status().ToString())
+        << "doc: " << doc;
+  } else {
+    EXPECT_TRUE(StrictEq(*dom, *streamed))
+        << "doc: " << doc << "\ndom: " << dom->Dump()
+        << "\nstream: " << streamed->Dump();
+  }
+}
+
+TEST(JsonReaderDifferentialTest, ValidDocuments) {
+  const char* docs[] = {
+      "null",
+      "true",
+      "false",
+      "0",
+      "-0",
+      "42",
+      "-7",
+      "01",    // leading zeros accepted by both grammars
+      "2.5",
+      "-0.125",
+      "1e5",
+      "1E+5",
+      "1e-5",
+      "3.14159e0",
+      "\"\"",
+      "\"hello\"",
+      "[]",
+      "[1,2,3]",
+      "[1, \"two\", null, true, 2.5]",
+      "{}",
+      "{\"a\":1}",
+      "{\"a\":{\"b\":[1,{\"c\":null}]},\"d\":\"e\"}",
+      "  {  \"a\" : [ 1 , 2 ] , \"b\" : \"c\" }  ",
+      "[[[[[]]]]]",
+      "[{},{},[],[{}]]",
+      "{\"nested\":{\"deep\":{\"deeper\":{\"value\":42}}}}",
+  };
+  for (const char* doc : docs) ExpectSameVerdict(doc);
+}
+
+TEST(JsonReaderDifferentialTest, EscapedAndUnicodeStrings) {
+  const char* docs[] = {
+      "\"a\\nb\\tc\\rd\\be\\ff\"",
+      "\"quote \\\" backslash \\\\ slash \\/\"",
+      "\"\\u0041\\u00e9\\u4e2d\\u0001\"",
+      "\"\\ud83d\\ude00\"",          // surrogate pair -> U+1F600
+      "\"\\ud800\"",                 // lone high surrogate, encoded as-is
+      "\"\\udc00\"",                 // lone low surrogate
+      "\"\\ud800x\"",                // high surrogate then ordinary char
+      "\"\\ud800\\u0041\"",          // high surrogate then non-low escape
+      "\"\\u0000\"",                 // NUL via escape
+      "\"prefix no escape then \\u00e9 suffix\"",
+      "\"\\u00E9 upper and lower \\u00e9\"",
+      "{\"ke\\ny\":\"va\\tlue\"}",   // escapes inside keys
+      "\"raw control \x01 char\"",   // both parsers accept raw control bytes
+  };
+  for (const char* doc : docs) ExpectSameVerdict(doc);
+}
+
+TEST(JsonReaderDifferentialTest, NumericEdgeCases) {
+  const char* docs[] = {
+      "9007199254740993",      // 2^53 + 1: exact as int64, not as double
+      "9223372036854775807",   // int64 max
+      "-9223372036854775808",  // int64 min
+      "9223372036854775808",   // int64 overflow -> double
+      "-9223372036854775809",
+      "18446744073709551616",
+      "1e308",
+      "1e400",                 // overflows to inf via strtod saturation
+      "-1e400",
+      "1e-400",                // underflow
+      "4.9e-324",              // smallest denormal
+      "0.1",
+      "123456789.123456789",
+      "0.000000000000000000001",
+      "1e-0",
+      "-0.0",
+  };
+  for (const char* doc : docs) ExpectSameVerdict(doc);
+}
+
+TEST(JsonReaderDifferentialTest, MalformedDocuments) {
+  const char* docs[] = {
+      "",
+      "{",
+      "}",
+      "[",
+      "]",
+      "[1,]",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{a:1}",
+      "tru",
+      "nul",
+      "falsee",
+      "01x",
+      "1.e5",
+      "1.",
+      "--3",
+      "+5",
+      "\"unterminated",
+      "\"bad\\escape\\q\"",
+      "\"trunc\\",
+      "\"\\u12\"",
+      "\"\\u12g4\"",
+      "[1] trailing",
+      "{\"a\":1,}",
+      "[1 2]",
+      "{\"a\":1 \"b\":2}",
+      "[1,",
+      "{\"a\":",
+      "{\"a\"",
+      "{,}",
+      "[,]",
+      "nan",
+      "inf",
+      ".5",
+  };
+  for (const char* doc : docs) ExpectSameVerdict(doc);
+}
+
+TEST(JsonReaderDifferentialTest, DuplicateKeysLastWins) {
+  ExpectSameVerdict("{\"a\":1,\"a\":2}");
+  ExpectSameVerdict("{\"a\":1,\"b\":2,\"a\":3}");
+  ExpectSameVerdict("{\"a\":[1,2],\"a\":\"x\"}");
+  ExpectSameVerdict("{\"a\":{\"b\":1},\"a\":{\"c\":2}}");
+}
+
+TEST(JsonReaderDifferentialTest, DepthLimitBoundary) {
+  auto nested = [](size_t depth, const char* inner) {
+    std::string doc;
+    for (size_t i = 0; i < depth; ++i) doc += '[';
+    doc += inner;
+    for (size_t i = 0; i < depth; ++i) doc += ']';
+    return doc;
+  };
+  ExpectSameVerdict(nested(100, "1"));
+  ExpectSameVerdict(nested(256, "1"));
+  ExpectSameVerdict(nested(257, "1"));  // scalar one level too deep
+  ExpectSameVerdict(nested(300, "1"));
+  ExpectSameVerdict(nested(257, ""));   // 257 empty arrays: fine in both
+  ExpectSameVerdict(nested(258, ""));
+  // Truncated deep document: depth verdict must beat end-of-input.
+  ExpectSameVerdict(std::string(257, '['));
+  ExpectSameVerdict(std::string(300, '['));
+}
+
+TEST(JsonReaderTest, ZeroCopyStringsAliasTheInput) {
+  const std::string doc = "{\"key\":\"plain value\"}";
+  JsonReader r(doc);
+  bool saw = false;
+  ASSERT_TRUE(r.ForEachMember([&](std::string_view key) -> Status {
+                 EXPECT_GE(key.data(), doc.data());
+                 EXPECT_LT(key.data(), doc.data() + doc.size());
+                 auto v = r.ReadScalar();
+                 EXPECT_TRUE(v.ok());
+                 EXPECT_EQ(v->AsString(), "plain value");
+                 EXPECT_GE(v->s.data(), doc.data());
+                 EXPECT_LT(v->s.data(), doc.data() + doc.size());
+                 saw = true;
+                 return Status::OK();
+               }).ok());
+  EXPECT_TRUE(saw);
+}
+
+TEST(JsonReaderTest, EscapedStringsUseScratchNotInput) {
+  const std::string doc = "\"a\\nb\"";
+  JsonReader r(doc);
+  auto v = r.ReadScalar();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "a\nb");
+  // Unescaped form cannot alias the raw input.
+  EXPECT_TRUE(v->s.data() < doc.data() || v->s.data() >= doc.data() + doc.size());
+}
+
+TEST(JsonReaderTest, ScalarCoercionsMirrorDomAccessors) {
+  {
+    JsonReader r("42");
+    auto v = r.ReadScalar();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->AsInt(), 42);
+    EXPECT_DOUBLE_EQ(v->AsDouble(), 42.0);
+    EXPECT_EQ(v->AsString(), "");
+    EXPECT_FALSE(v->AsBool());
+  }
+  {
+    JsonReader r("2.9");
+    auto v = r.ReadScalar();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->AsInt(), 2);  // double truncates, as Json::AsInt does
+  }
+  {
+    JsonReader r("\"x\"");
+    auto v = r.ReadScalar();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->AsInt(9), 9);
+  }
+  {
+    JsonReader r("[1,2]");
+    auto v = r.ReadScalar();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->kind, JsonReader::Scalar::Kind::kComposite);
+    EXPECT_EQ(v->AsInt(), 0);
+    EXPECT_FALSE(v->is_null());
+  }
+}
+
+TEST(JsonReaderTest, ForEachMemberOnNonObjectConsumesValue) {
+  JsonReader r("[1,2,3]");
+  size_t calls = 0;
+  ASSERT_TRUE(r.ForEachMember([&](std::string_view) -> Status {
+                 ++calls;
+                 return r.SkipValue();
+               }).ok());
+  EXPECT_EQ(calls, 0u);
+  EXPECT_TRUE(r.Finish().ok());  // the array was consumed
+}
+
+TEST(JsonReaderTest, ForEachElementOnNonArrayConsumesValue) {
+  JsonReader r("{\"a\":1}");
+  size_t calls = 0;
+  ASSERT_TRUE(r.ForEachElement([&]() -> Status {
+                 ++calls;
+                 return r.SkipValue();
+               }).ok());
+  EXPECT_EQ(calls, 0u);
+  EXPECT_TRUE(r.Finish().ok());
+}
+
+TEST(JsonReaderTest, FinishRejectsTrailingGarbage) {
+  JsonReader r("{} x");
+  ASSERT_TRUE(r.SkipValue().ok());
+  Status s = r.Finish();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("trailing characters"), std::string::npos);
+}
+
+TEST(JsonReaderTest, DumpRoundTripsThroughBothParsers) {
+  // to_chars-based Dump output must reparse identically via both paths.
+  Json doc = Json::MakeObject();
+  doc.Set("int", int64_t{9007199254740993});
+  doc.Set("neg", int64_t{-42});
+  doc.Set("pi", 3.141592653589793);
+  doc.Set("tenth", 0.1);
+  doc.Set("half", 2.5);
+  doc.Set("esc", "line\nbreak \"quoted\" \x01");
+  Json arr = Json::MakeArray();
+  arr.Append(1);
+  arr.Append(0.25);
+  doc.Set("arr", arr);
+  const std::string text = doc.Dump();
+  auto dom = Parse(text);
+  ASSERT_TRUE(dom.ok());
+  auto streamed = StreamParse(text);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_TRUE(StrictEq(*dom, *streamed));
+  EXPECT_EQ(dom->Dump(), text);
+}
+
+}  // namespace
+}  // namespace cfnet::json
