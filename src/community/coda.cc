@@ -18,6 +18,22 @@ double Dot(const double* a, const double* b, int c) {
   return s;
 }
 
+/// Per-worker buffers for one row update. `gather` holds the neighbor rows
+/// copied contiguously (count * c doubles), so the dot-product loops stream
+/// sequential memory instead of chasing a pointer per neighbor; the rest are
+/// hoisted out of the row loop so updates allocate nothing.
+struct RowScratch {
+  std::vector<double> gather;
+  std::vector<double> rest;
+  std::vector<double> grad;
+  std::vector<double> candidate;
+
+  explicit RowScratch(int c)
+      : rest(static_cast<size_t>(c)),
+        grad(static_cast<size_t>(c)),
+        candidate(static_cast<size_t>(c)) {}
+};
+
 }  // namespace
 
 CodaResult Coda::Fit(const graph::BipartiteGraph& g) const {
@@ -56,45 +72,49 @@ CodaResult Coda::Fit(const graph::BipartiteGraph& g) const {
   // Local objective of one row x (F_u against its out-neighborhood, or H_v
   // against its in-neighborhood):
   //   l(x) = sum_{nbr} log(1 - exp(-x . Y_nbr)) - x . rest
-  // where rest = (column sums of the other side) - (sum over neighbors).
-  auto row_objective = [c](const double* x, const std::vector<const double*>& nbrs,
-                           const double* rest) {
+  // where rest = (column sums of the other side) - (sum over neighbors),
+  // and the neighbor rows are packed contiguously in `nbr_rows`.
+  auto row_objective = [c](const double* x, const double* nbr_rows,
+                           size_t count, const double* rest) {
     double obj = 0;
-    for (const double* y : nbrs) {
-      double dot = std::max(Dot(x, y, c), kMinDot);
+    for (size_t i = 0; i < count; ++i) {
+      double dot = std::max(Dot(x, nbr_rows + i * c, c), kMinDot);
       obj += std::log1p(-std::exp(-dot));
     }
     obj -= Dot(x, rest, c);
     return obj;
   };
 
-  auto update_row = [&](double* x, const std::vector<const double*>& nbrs,
-                        const double* rest) {
+  auto update_row = [&](double* x, const double* nbr_rows, size_t count,
+                        RowScratch& scratch) {
+    const double* rest = scratch.rest.data();
     // Gradient: sum_nbr Y / expm1(dot) - rest.
-    std::vector<double> grad(static_cast<size_t>(c), 0);
-    for (const double* y : nbrs) {
+    double* grad = scratch.grad.data();
+    std::fill(scratch.grad.begin(), scratch.grad.end(), 0.0);
+    for (size_t i = 0; i < count; ++i) {
+      const double* y = nbr_rows + i * c;
       double dot = std::max(Dot(x, y, c), kMinDot);
       double w = 1.0 / std::expm1(dot);  // exp(-d)/(1-exp(-d))
       w = std::min(w, 1.0 / kMinDot);
-      for (int k = 0; k < c; ++k) grad[static_cast<size_t>(k)] += w * y[k];
+      for (int k = 0; k < c; ++k) grad[k] += w * y[k];
     }
-    for (int k = 0; k < c; ++k) grad[static_cast<size_t>(k)] -= rest[k];
+    for (int k = 0; k < c; ++k) grad[k] -= rest[k];
 
-    double base = row_objective(x, nbrs, rest);
-    std::vector<double> candidate(static_cast<size_t>(c));
+    double base = row_objective(x, nbr_rows, count, rest);
+    double* candidate = scratch.candidate.data();
     double step = config_.initial_step;
     for (int bt = 0; bt <= config_.max_backtracks; ++bt) {
       double gdx = 0;
       for (int k = 0; k < c; ++k) {
-        double nx = std::clamp(x[k] + step * grad[static_cast<size_t>(k)], 0.0,
+        double nx = std::clamp(x[k] + step * grad[k], 0.0,
                                config_.max_affiliation);
-        candidate[static_cast<size_t>(k)] = nx;
-        gdx += grad[static_cast<size_t>(k)] * (nx - x[k]);
+        candidate[k] = nx;
+        gdx += grad[k] * (nx - x[k]);
       }
       if (gdx <= 0) break;  // projected step is not an ascent direction
-      double obj = row_objective(candidate.data(), nbrs, rest);
+      double obj = row_objective(candidate, nbr_rows, count, rest);
       if (obj >= base + 1e-4 * gdx) {  // Armijo
-        for (int k = 0; k < c; ++k) x[k] = candidate[static_cast<size_t>(k)];
+        for (int k = 0; k < c; ++k) x[k] = candidate[k];
         return;
       }
       step *= config_.step_beta;
@@ -102,12 +122,16 @@ CodaResult Coda::Fit(const graph::BipartiteGraph& g) const {
     // No improving step found: leave the row unchanged.
   };
 
+  // Rows are independent within a phase (each writes only its own row
+  // against the fixed other side), so any worker assignment produces
+  // identical results. fn(i, scratch) gets a worker-local RowScratch.
   auto parallel_rows = [&](size_t n, auto&& fn) {
     const size_t workers = pool.num_threads();
     std::vector<std::future<void>> futs;
     for (size_t w = 0; w < workers; ++w) {
       futs.push_back(pool.Submit([&, w]() {
-        for (size_t i = w; i < n; i += workers) fn(i);
+        RowScratch scratch(c);
+        for (size_t i = w; i < n; i += workers) fn(i, scratch);
       }));
     }
     for (auto& fu : futs) fu.get();
@@ -135,22 +159,25 @@ CodaResult Coda::Fit(const graph::BipartiteGraph& g) const {
 
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
     // --- F phase (investor rows; H and sum_h fixed). ---------------------
-    parallel_rows(nl, [&](size_t u) {
-      const double* fu = &f[u * static_cast<size_t>(c)];
+    parallel_rows(nl, [&](size_t u, RowScratch& scratch) {
       auto nbrs_span = g.OutNeighbors(static_cast<uint32_t>(u));
-      std::vector<const double*> nbrs;
-      nbrs.reserve(nbrs_span.size());
-      std::vector<double> rest(sum_h);
-      for (uint32_t v : nbrs_span) {
-        const double* hv = &h[v * static_cast<size_t>(c)];
-        nbrs.push_back(hv);
-        for (int k = 0; k < c; ++k) rest[static_cast<size_t>(k)] -= hv[k];
+      scratch.gather.resize(nbrs_span.size() * static_cast<size_t>(c));
+      std::copy(sum_h.begin(), sum_h.end(), scratch.rest.begin());
+      double* gather = scratch.gather.data();
+      for (size_t i = 0; i < nbrs_span.size(); ++i) {
+        const double* hv = &h[nbrs_span[i] * static_cast<size_t>(c)];
+        double* dst = gather + i * c;
+        for (int k = 0; k < c; ++k) {
+          dst[k] = hv[k];
+          scratch.rest[static_cast<size_t>(k)] -= hv[k];
+        }
       }
       for (int k = 0; k < c; ++k) {
-        rest[static_cast<size_t>(k)] = std::max(0.0, rest[static_cast<size_t>(k)]);
+        scratch.rest[static_cast<size_t>(k)] =
+            std::max(0.0, scratch.rest[static_cast<size_t>(k)]);
       }
-      update_row(&f[u * static_cast<size_t>(c)], nbrs, rest.data());
-      (void)fu;
+      update_row(&f[u * static_cast<size_t>(c)], gather, nbrs_span.size(),
+                 scratch);
     });
     std::fill(sum_f.begin(), sum_f.end(), 0.0);
     for (size_t u = 0; u < nl; ++u) {
@@ -160,20 +187,25 @@ CodaResult Coda::Fit(const graph::BipartiteGraph& g) const {
     }
 
     // --- H phase (company rows; F and sum_f fixed). ----------------------
-    parallel_rows(nr, [&](size_t v) {
+    parallel_rows(nr, [&](size_t v, RowScratch& scratch) {
       auto nbrs_span = g.InNeighbors(static_cast<uint32_t>(v));
-      std::vector<const double*> nbrs;
-      nbrs.reserve(nbrs_span.size());
-      std::vector<double> rest(sum_f);
-      for (uint32_t u : nbrs_span) {
-        const double* fu = &f[u * static_cast<size_t>(c)];
-        nbrs.push_back(fu);
-        for (int k = 0; k < c; ++k) rest[static_cast<size_t>(k)] -= fu[k];
+      scratch.gather.resize(nbrs_span.size() * static_cast<size_t>(c));
+      std::copy(sum_f.begin(), sum_f.end(), scratch.rest.begin());
+      double* gather = scratch.gather.data();
+      for (size_t i = 0; i < nbrs_span.size(); ++i) {
+        const double* fu = &f[nbrs_span[i] * static_cast<size_t>(c)];
+        double* dst = gather + i * c;
+        for (int k = 0; k < c; ++k) {
+          dst[k] = fu[k];
+          scratch.rest[static_cast<size_t>(k)] -= fu[k];
+        }
       }
       for (int k = 0; k < c; ++k) {
-        rest[static_cast<size_t>(k)] = std::max(0.0, rest[static_cast<size_t>(k)]);
+        scratch.rest[static_cast<size_t>(k)] =
+            std::max(0.0, scratch.rest[static_cast<size_t>(k)]);
       }
-      update_row(&h[v * static_cast<size_t>(c)], nbrs, rest.data());
+      update_row(&h[v * static_cast<size_t>(c)], gather, nbrs_span.size(),
+                 scratch);
     });
     std::fill(sum_h.begin(), sum_h.end(), 0.0);
     for (size_t v = 0; v < nr; ++v) {

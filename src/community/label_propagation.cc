@@ -1,7 +1,7 @@
 #include "community/label_propagation.h"
 
+#include <algorithm>
 #include <numeric>
-#include <unordered_map>
 
 #include "util/rng.h"
 
@@ -20,7 +20,13 @@ LabelPropagationResult RunLabelPropagation(
   std::vector<uint32_t> order(n);
   std::iota(order.begin(), order.end(), 0);
 
-  std::unordered_map<int, double> weight_of;
+  // Dense label-weight accumulator (labels stay within [0, n)): weight_of[l]
+  // is valid only when stamp[l] == epoch, so per-node reset is O(1) instead
+  // of a hash-map clear.
+  std::vector<double> weight_of(n, 0);
+  std::vector<uint32_t> stamp(n, 0);
+  std::vector<int> touched;
+  uint32_t epoch = 0;
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     rng.Shuffle(order);
     bool changed = false;
@@ -28,13 +34,25 @@ LabelPropagationResult RunLabelPropagation(
       auto nbrs = g.Neighbors(v);
       if (nbrs.empty()) continue;
       auto ws = g.Weights(v);
-      weight_of.clear();
+      ++epoch;
+      touched.clear();
+      if (epoch == 0) {  // wrapped: stamps are stale, reset them
+        std::fill(stamp.begin(), stamp.end(), 0);
+        epoch = 1;
+      }
       for (size_t i = 0; i < nbrs.size(); ++i) {
-        weight_of[label[nbrs[i]]] += ws[i];
+        const size_t l = static_cast<size_t>(label[nbrs[i]]);
+        if (stamp[l] != epoch) {
+          stamp[l] = epoch;
+          weight_of[l] = 0;
+          touched.push_back(static_cast<int>(l));
+        }
+        weight_of[l] += ws[i];
       }
       int best = label[v];
       double best_w = -1;
-      for (const auto& [l, w] : weight_of) {
+      for (int l : touched) {
+        const double w = weight_of[static_cast<size_t>(l)];
         // Ties break toward the current label, then the smaller label, for
         // determinism under a fixed seed.
         if (w > best_w || (w == best_w && l == label[v]) ||

@@ -3,12 +3,53 @@
 #include <algorithm>
 #include <numeric>
 #include <tuple>
-#include <unordered_map>
 
 #include "util/rng.h"
 
 namespace cfnet::community {
 namespace {
+
+/// Dense neighbor-weight accumulator: weight_to[c] is valid only when
+/// stamp[c] == epoch, so switching nodes costs one counter bump instead of
+/// a hash-map clear. `touched` lists the communities seen for the current
+/// node, in adjacency order (deterministic for a fixed graph).
+struct NeighborWeights {
+  std::vector<double> weight_to;
+  std::vector<uint32_t> stamp;
+  std::vector<int> touched;
+  uint32_t epoch = 0;
+
+  void Resize(size_t n) {
+    weight_to.assign(n, 0);
+    stamp.assign(n, 0);
+    touched.reserve(64);
+    epoch = 0;
+  }
+
+  void Begin() {
+    ++epoch;
+    touched.clear();
+    if (epoch == 0) {  // wrapped: stamps are stale, reset them
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+  }
+
+  void Add(int c, double w) {
+    const size_t idx = static_cast<size_t>(c);
+    if (stamp[idx] != epoch) {
+      stamp[idx] = epoch;
+      weight_to[idx] = 0;
+      touched.push_back(c);
+    }
+    weight_to[idx] += w;
+  }
+
+  double Get(int c) const {
+    const size_t idx = static_cast<size_t>(c);
+    return stamp[idx] == epoch ? weight_to[idx] : 0.0;
+  }
+};
 
 /// One Louvain level: local node moves until no modularity gain. Returns
 /// the per-node community labels within this level's graph.
@@ -30,29 +71,28 @@ std::vector<int> LocalMovePhase(const graph::WeightedGraph& g,
   std::iota(order.begin(), order.end(), 0);
   rng.Shuffle(order);
 
-  std::unordered_map<int, double> weight_to;  // community -> edge weight sum
+  NeighborWeights weights;  // community -> edge weight sum for current node
+  weights.Resize(n);
   for (int sweep = 0; sweep < config.max_sweeps_per_level; ++sweep) {
     bool moved = false;
     for (uint32_t v : order) {
       const double k_v = g.WeightedDegree(v);
       if (k_v <= 0) continue;
-      weight_to.clear();
+      weights.Begin();
       auto nbrs = g.Neighbors(v);
       auto ws = g.Weights(v);
       for (size_t i = 0; i < nbrs.size(); ++i) {
         if (nbrs[i] == v) continue;  // self loops handled via degree
-        weight_to[label[nbrs[i]]] += ws[i];
+        weights.Add(label[nbrs[i]], ws[i]);
       }
       const int old_c = label[v];
       // Remove v from its community.
       sigma_tot[static_cast<size_t>(old_c)] -= k_v;
       double best_gain = 0;
       int best_c = old_c;
-      double w_old = 0;
-      if (auto it = weight_to.find(old_c); it != weight_to.end()) {
-        w_old = it->second;
-      }
-      for (const auto& [cand, w_in] : weight_to) {
+      const double w_old = weights.Get(old_c);
+      for (int cand : weights.touched) {
+        const double w_in = weights.Get(cand);
         // Delta modularity of joining cand (relative to staying isolated):
         //   w_in/m - k_v * sigma_tot[cand] / (2m^2) ... using 2m = m2:
         double gain = (w_in - w_old) / m2 * 2.0 -
@@ -79,36 +119,60 @@ std::vector<int> LocalMovePhase(const graph::WeightedGraph& g,
 /// Aggregates the graph by community labels (relabeled to 0..k-1).
 graph::WeightedGraph Aggregate(const graph::WeightedGraph& g,
                                std::vector<int>& labels, size_t* num_out) {
-  // Compact labels.
-  std::unordered_map<int, int> remap;
+  const size_t n = g.num_nodes();
+  // Compact labels in first-appearance order (labels are level-local node
+  // ids, so a dense remap array replaces the hash map).
+  std::vector<int> remap(n, -1);
+  int next = 0;
   for (int& l : labels) {
-    auto [it, inserted] = remap.try_emplace(l, static_cast<int>(remap.size()));
-    l = it->second;
+    if (remap[static_cast<size_t>(l)] == -1) {
+      remap[static_cast<size_t>(l)] = next++;
+    }
+    l = remap[static_cast<size_t>(l)];
   }
-  *num_out = remap.size();
-  std::unordered_map<uint64_t, double> agg;
-  for (uint32_t v = 0; v < g.num_nodes(); ++v) {
-    auto nbrs = g.Neighbors(v);
-    auto ws = g.Weights(v);
-    for (size_t i = 0; i < nbrs.size(); ++i) {
-      if (nbrs[i] < v) continue;  // undirected: visit each edge once
-      double w = ws[i];
-      // A self-loop contributes two identical adjacency entries, both of
-      // which pass the filter above; halve to keep its true weight.
-      if (nbrs[i] == v) w *= 0.5;
-      uint32_t a = static_cast<uint32_t>(labels[v]);
-      uint32_t b = static_cast<uint32_t>(labels[nbrs[i]]);
-      if (a > b) std::swap(a, b);
-      agg[(static_cast<uint64_t>(a) << 32) | b] += w;
+  const size_t num_comms = static_cast<size_t>(next);
+  *num_out = num_comms;
+
+  // Group nodes by community (counting sort), then accumulate each
+  // community's neighbor-community weights through the dense scratch.
+  std::vector<size_t> comm_offsets(num_comms + 1, 0);
+  for (int l : labels) ++comm_offsets[static_cast<size_t>(l) + 1];
+  for (size_t c = 1; c <= num_comms; ++c) {
+    comm_offsets[c] += comm_offsets[c - 1];
+  }
+  std::vector<uint32_t> comm_nodes(n);
+  {
+    std::vector<size_t> cursor(comm_offsets.begin(), comm_offsets.end() - 1);
+    for (uint32_t v = 0; v < n; ++v) {
+      comm_nodes[cursor[static_cast<size_t>(labels[v])]++] = v;
     }
   }
+
   std::vector<std::tuple<uint32_t, uint32_t, double>> edges;
-  edges.reserve(agg.size());
-  for (const auto& [key, w] : agg) {
-    edges.emplace_back(static_cast<uint32_t>(key >> 32),
-                       static_cast<uint32_t>(key & 0xffffffffull), w);
+  edges.reserve(std::min(g.num_edges(), num_comms * 8));
+  NeighborWeights weights;
+  weights.Resize(num_comms);
+  for (size_t a = 0; a < num_comms; ++a) {
+    weights.Begin();
+    for (size_t k = comm_offsets[a]; k < comm_offsets[a + 1]; ++k) {
+      const uint32_t v = comm_nodes[k];
+      auto nbrs = g.Neighbors(v);
+      auto ws = g.Weights(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const int b = labels[nbrs[i]];
+        if (static_cast<size_t>(b) < a) continue;  // counted from the other side
+        // Intra-community adjacency entries (including both entries of a
+        // self loop) are seen twice while scanning community a; halve them.
+        weights.Add(b, static_cast<size_t>(b) == a ? ws[i] * 0.5 : ws[i]);
+      }
+    }
+    std::sort(weights.touched.begin(), weights.touched.end());
+    for (int b : weights.touched) {
+      edges.emplace_back(static_cast<uint32_t>(a), static_cast<uint32_t>(b),
+                         weights.Get(b));
+    }
   }
-  return graph::WeightedGraph::FromEdges(*num_out, edges);
+  return graph::WeightedGraph::FromEdges(num_comms, edges);
 }
 
 }  // namespace
@@ -116,22 +180,27 @@ graph::WeightedGraph Aggregate(const graph::WeightedGraph& g,
 double Modularity(const graph::WeightedGraph& g, const std::vector<int>& labels) {
   const double m2 = g.TotalWeight2m();
   if (m2 <= 0) return 0;
-  std::unordered_map<int, double> sigma_tot;
-  std::unordered_map<int, double> sigma_in;
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+  if (max_label < 0) return 0;
+  const size_t k = static_cast<size_t>(max_label) + 1;
+  std::vector<double> sigma_tot(k, 0);
+  std::vector<double> sigma_in(k, 0);
   for (uint32_t v = 0; v < g.num_nodes(); ++v) {
     if (labels[v] < 0) continue;
-    sigma_tot[labels[v]] += g.WeightedDegree(v);
+    sigma_tot[static_cast<size_t>(labels[v])] += g.WeightedDegree(v);
     auto nbrs = g.Neighbors(v);
     auto ws = g.Weights(v);
     for (size_t i = 0; i < nbrs.size(); ++i) {
-      if (labels[nbrs[i]] == labels[v]) sigma_in[labels[v]] += ws[i];
+      if (labels[nbrs[i]] == labels[v]) {
+        sigma_in[static_cast<size_t>(labels[v])] += ws[i];
+      }
     }
   }
   double q = 0;
-  for (const auto& [c, st] : sigma_tot) {
-    double in = 0;
-    if (auto it = sigma_in.find(c); it != sigma_in.end()) in = it->second;
-    q += in / m2 - (st / m2) * (st / m2);
+  for (size_t c = 0; c < k; ++c) {
+    if (sigma_tot[c] <= 0 && sigma_in[c] <= 0) continue;
+    q += sigma_in[c] / m2 - (sigma_tot[c] / m2) * (sigma_tot[c] / m2);
   }
   return q;
 }

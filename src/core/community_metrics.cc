@@ -1,44 +1,159 @@
 #include "core/community_metrics.h"
 
-#include <unordered_map>
+#include <algorithm>
 
 #include "util/rng.h"
 
 namespace cfnet::core {
+namespace {
+
+/// Rows whose investor has at least this many investments build a company
+/// bitset once and probe it per partner; below it the sorted-merge
+/// intersection wins (no fill/clear amortization to pay for).
+constexpr size_t kBitsetDegreeThreshold = 64;
+
+/// First flat pair index of triangular row i over m members (pairs are
+/// enumerated (i, j), j > i, in lexicographic order).
+size_t RowOffset(size_t m, size_t i) { return i * (m - 1) - i * (i - 1) / 2; }
+
+/// Computes rows [row_begin, row_end) of the all-pairs triangle into the
+/// pre-sized output at their fixed offsets. Writes are disjoint across
+/// rows, so any sharding of rows yields identical output.
+void ComputePairRows(const graph::BipartiteGraph& g,
+                     const std::vector<uint32_t>& members, size_t row_begin,
+                     size_t row_end, std::vector<uint64_t>& bits,
+                     std::vector<double>& out) {
+  const size_t m = members.size();
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const uint32_t a = members[i];
+    auto na = g.OutNeighbors(a);
+    size_t pos = RowOffset(m, i);
+    if (na.size() >= kBitsetDegreeThreshold) {
+      for (uint32_t r : na) bits[r >> 6] |= uint64_t{1} << (r & 63);
+      for (size_t j = i + 1; j < m; ++j) {
+        size_t shared = 0;
+        for (uint32_t r : g.OutNeighbors(members[j])) {
+          shared += (bits[r >> 6] >> (r & 63)) & 1;
+        }
+        out[pos++] = static_cast<double>(shared);
+      }
+      // Only this row's fill touched these words; zero them wholesale.
+      for (uint32_t r : na) bits[r >> 6] = 0;
+    } else {
+      for (size_t j = i + 1; j < m; ++j) {
+        out[pos++] =
+            static_cast<double>(g.SharedOutNeighbors(a, members[j]));
+      }
+    }
+  }
+}
+
+/// Splits triangular rows 0..m-2 into morsels of roughly `target_pairs`
+/// pairs each (early rows carry more pairs than late ones). Returns morsel
+/// boundaries: rows of morsel t are [starts[t], starts[t+1]).
+std::vector<size_t> BalancePairRows(size_t m, size_t target_pairs) {
+  std::vector<size_t> starts{0};
+  size_t acc = 0;
+  for (size_t i = 0; i + 1 < m; ++i) {
+    acc += m - 1 - i;
+    if (acc >= target_pairs && i + 2 < m) {
+      starts.push_back(i + 1);
+      acc = 0;
+    }
+  }
+  starts.push_back(m - 1);
+  return starts;
+}
+
+/// Stateless pair derivation: sample s of a (salted) seed maps to a
+/// distinct-investor pair, independent of how samples are sharded.
+std::pair<size_t, size_t> SamplePair(uint64_t base, size_t s, size_t m) {
+  size_t i = static_cast<size_t>(Mix64(base + 2 * s + 1) % m);
+  size_t j = static_cast<size_t>(Mix64(base + 2 * s + 2) % (m - 1));
+  if (j >= i) ++j;
+  return {i, j};
+}
+
+/// Dense per-company accumulator for SharedInvestorCompanyPercent; reused
+/// across communities so the O(num_right) zero-fill is paid once.
+struct PercentScratch {
+  std::vector<uint32_t> count;
+  std::vector<uint32_t> touched;
+};
+
+double PercentWithScratch(const graph::BipartiteGraph& g,
+                          const std::vector<uint32_t>& members, size_t k,
+                          PercentScratch& scratch) {
+  if (scratch.count.size() < g.num_right()) {
+    scratch.count.assign(g.num_right(), 0);
+  }
+  scratch.touched.clear();
+  for (uint32_t u : members) {
+    for (uint32_t c : g.OutNeighbors(u)) {
+      if (scratch.count[c]++ == 0) scratch.touched.push_back(c);
+    }
+  }
+  if (scratch.touched.empty()) return 0;
+  size_t shared = 0;
+  for (uint32_t c : scratch.touched) {
+    if (scratch.count[c] >= k) ++shared;
+    scratch.count[c] = 0;
+  }
+  return 100.0 * static_cast<double>(shared) /
+         static_cast<double>(scratch.touched.size());
+}
+
+}  // namespace
 
 std::vector<double> SharedInvestmentSizes(const graph::BipartiteGraph& g,
                                           const std::vector<uint32_t>& members,
-                                          size_t max_pairs, uint64_t seed) {
-  std::vector<double> out;
+                                          size_t max_pairs, uint64_t seed,
+                                          const ParallelOptions& par) {
   const size_t m = members.size();
-  if (m < 2) return out;
+  if (m < 2) return {};
   const size_t all_pairs = m * (m - 1) / 2;
   if (all_pairs <= max_pairs) {
-    out.reserve(all_pairs);
-    for (size_t i = 0; i < m; ++i) {
-      for (size_t j = i + 1; j < m; ++j) {
-        out.push_back(static_cast<double>(
-            g.SharedOutNeighbors(members[i], members[j])));
-      }
+    std::vector<double> out(all_pairs);
+    size_t target = par.morsel_size;
+    if (target == 0) {
+      target = std::max<size_t>(
+          2048, all_pairs / std::max<size_t>(1, par.threads() * 8));
+    }
+    const std::vector<size_t> starts = BalancePairRows(m, target);
+    const size_t num_morsels = starts.size() - 1;
+    const size_t words = (g.num_right() + 63) / 64;
+    auto run_morsel = [&](size_t t) {
+      std::vector<uint64_t> bits(words, 0);
+      ComputePairRows(g, members, starts[t], starts[t + 1], bits, out);
+    };
+    if (par.pool == nullptr || par.threads() <= 1 || num_morsels <= 1) {
+      for (size_t t = 0; t < num_morsels; ++t) run_morsel(t);
+    } else {
+      par.pool->RunBulk(num_morsels, run_morsel);
     }
     return out;
   }
-  Rng rng(seed);
-  out.reserve(max_pairs);
-  for (size_t s = 0; s < max_pairs; ++s) {
-    size_t i = static_cast<size_t>(rng.NextUint64(m));
-    size_t j = static_cast<size_t>(rng.NextUint64(m - 1));
-    if (j >= i) ++j;
-    out.push_back(
-        static_cast<double>(g.SharedOutNeighbors(members[i], members[j])));
-  }
+
+  // Sampled path: every sample derives its pair statelessly from (seed,
+  // sample index) and writes its own slot — shard-independent by design.
+  std::vector<double> out(max_pairs);
+  const uint64_t base = Mix64(seed ^ 0x73686172656470ull);
+  ForEachMorsel(par, max_pairs, 1024, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      auto [i, j] = SamplePair(base, s, m);
+      out[s] = static_cast<double>(
+          g.SharedOutNeighbors(members[i], members[j]));
+    }
+  });
   return out;
 }
 
 double MeanSharedInvestmentSize(const graph::BipartiteGraph& g,
                                 const std::vector<uint32_t>& members,
-                                size_t max_pairs, uint64_t seed) {
-  std::vector<double> sizes = SharedInvestmentSizes(g, members, max_pairs, seed);
+                                size_t max_pairs, uint64_t seed,
+                                const ParallelOptions& par) {
+  std::vector<double> sizes =
+      SharedInvestmentSizes(g, members, max_pairs, seed, par);
   if (sizes.empty()) return 0;
   double sum = 0;
   for (double s : sizes) sum += s;
@@ -48,44 +163,44 @@ double MeanSharedInvestmentSize(const graph::BipartiteGraph& g,
 double SharedInvestorCompanyPercent(const graph::BipartiteGraph& g,
                                     const std::vector<uint32_t>& members,
                                     size_t k) {
-  std::unordered_map<uint32_t, size_t> company_investors;
-  for (uint32_t u : members) {
-    for (uint32_t c : g.OutNeighbors(u)) ++company_investors[c];
-  }
-  if (company_investors.empty()) return 0;
-  size_t shared = 0;
-  for (const auto& [c, count] : company_investors) {
-    if (count >= k) ++shared;
-  }
-  return 100.0 * static_cast<double>(shared) /
-         static_cast<double>(company_investors.size());
+  PercentScratch scratch;
+  return PercentWithScratch(g, members, k, scratch);
 }
 
 double MeanSharedInvestorCompanyPercent(const graph::BipartiteGraph& g,
                                         const community::CommunitySet& set,
-                                        size_t k) {
-  if (set.communities.empty()) return 0;
+                                        size_t k, const ParallelOptions& par) {
+  const size_t num = set.communities.size();
+  if (num == 0) return 0;
+  // Per-community percents land in disjoint slots; the mean folds them in
+  // community order, so sharding cannot change the result.
+  std::vector<double> percents(num, 0);
+  ForEachMorsel(par, num, 4, [&](size_t begin, size_t end) {
+    PercentScratch scratch;
+    for (size_t ci = begin; ci < end; ++ci) {
+      percents[ci] = PercentWithScratch(g, set.communities[ci], k, scratch);
+    }
+  });
   double sum = 0;
-  for (const auto& members : set.communities) {
-    sum += SharedInvestorCompanyPercent(g, members, k);
-  }
-  return sum / static_cast<double>(set.communities.size());
+  for (double p : percents) sum += p;
+  return sum / static_cast<double>(num);
 }
 
 std::vector<double> GlobalSharedInvestmentSample(const graph::BipartiteGraph& g,
                                                  size_t num_pairs,
-                                                 uint64_t seed) {
-  std::vector<double> out;
+                                                 uint64_t seed,
+                                                 const ParallelOptions& par) {
   const size_t n = g.num_left();
-  if (n < 2) return out;
-  Rng rng(seed);
-  out.reserve(num_pairs);
-  for (size_t s = 0; s < num_pairs; ++s) {
-    uint32_t i = static_cast<uint32_t>(rng.NextUint64(n));
-    uint32_t j = static_cast<uint32_t>(rng.NextUint64(n - 1));
-    if (j >= i) ++j;
-    out.push_back(static_cast<double>(g.SharedOutNeighbors(i, j)));
-  }
+  if (n < 2) return {};
+  std::vector<double> out(num_pairs);
+  const uint64_t base = Mix64(seed ^ 0x676c6f62616c70ull);
+  ForEachMorsel(par, num_pairs, 1024, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      auto [i, j] = SamplePair(base, s, n);
+      out[s] = static_cast<double>(g.SharedOutNeighbors(
+          static_cast<uint32_t>(i), static_cast<uint32_t>(j)));
+    }
+  });
   return out;
 }
 

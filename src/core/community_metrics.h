@@ -6,42 +6,62 @@
 
 #include "community/community_set.h"
 #include "graph/bipartite_graph.h"
+#include "util/parallel.h"
 
 namespace cfnet::core {
 
 /// The paper's two community-strength metrics (§5.3), computed against the
 /// investor->company bipartite graph.
+///
+/// All metrics here are deterministic pure functions of (graph, arguments,
+/// seed): parallel runs shard the pair space into morsels with disjoint
+/// output slots and stateless per-sample RNG streams, so any thread count
+/// and any morsel size produce bit-identical results.
 
 /// Pairwise shared-investment sizes |C_i ∩ C_j| for investor pairs within
 /// one community. All pairs when the pair count is at most `max_pairs`;
 /// otherwise `max_pairs` pairs sampled uniformly (seeded).
+///
+/// The all-pairs path walks rows of the triangular pair space; rows whose
+/// investor has high out-degree build a company bitset once and probe it for
+/// every partner (O(d_j) per pair), falling back to the sorted-merge
+/// intersection below the degree threshold.
 std::vector<double> SharedInvestmentSizes(const graph::BipartiteGraph& g,
                                           const std::vector<uint32_t>& members,
                                           size_t max_pairs = 2000000,
-                                          uint64_t seed = 1);
+                                          uint64_t seed = 1,
+                                          const ParallelOptions& par = {});
 
 /// Mean of SharedInvestmentSizes — "average shared investment size".
 double MeanSharedInvestmentSize(const graph::BipartiteGraph& g,
                                 const std::vector<uint32_t>& members,
-                                size_t max_pairs = 2000000, uint64_t seed = 1);
+                                size_t max_pairs = 2000000, uint64_t seed = 1,
+                                const ParallelOptions& par = {});
 
 /// Percentage (0-100) of companies invested in by community members that
-/// have at least `k` investors from within the community.
+/// have at least `k` investors from within the community. Accumulates
+/// per-company counts in an epoch-stamped dense scratch (no hash map).
 double SharedInvestorCompanyPercent(const graph::BipartiteGraph& g,
                                     const std::vector<uint32_t>& members,
                                     size_t k = 2);
 
 /// Mean SharedInvestorCompanyPercent over all communities of a set.
+/// Communities are sharded into morsels with task-local scratch; the mean
+/// folds per-community results in community order.
 double MeanSharedInvestorCompanyPercent(const graph::BipartiteGraph& g,
                                         const community::CommunitySet& set,
-                                        size_t k = 2);
+                                        size_t k = 2,
+                                        const ParallelOptions& par = {});
 
 /// Shared-investment sizes of `num_pairs` i.i.d. uniformly sampled investor
 /// pairs across the whole graph — the paper's 800,000-pair global CDF
-/// estimate (quantify accuracy with stats::DkwEpsilon).
+/// estimate (quantify accuracy with stats::DkwEpsilon). Each sample derives
+/// its pair from a stateless hash of (seed, sample index), so the sample set
+/// is independent of sharding.
 std::vector<double> GlobalSharedInvestmentSample(const graph::BipartiteGraph& g,
                                                  size_t num_pairs,
-                                                 uint64_t seed = 1);
+                                                 uint64_t seed = 1,
+                                                 const ParallelOptions& par = {});
 
 }  // namespace cfnet::core
 

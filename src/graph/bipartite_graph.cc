@@ -109,19 +109,51 @@ size_t BipartiteGraph::SharedOutNeighbors(uint32_t l1, uint32_t l2) const {
 }
 
 BipartiteGraph BipartiteGraph::FilterLeftByMinDegree(size_t min_degree) const {
+  // Build the filtered CSR directly: kept rows are already sorted and
+  // deduplicated, so copying them and remapping right indices (the remap is
+  // monotonic, preserving sort order) avoids materializing an edge vector
+  // and re-sorting it through FromEdges.
+  BipartiteGraph out;
+  size_t kept_left = 0;
   size_t kept_edges = 0;
   for (uint32_t l = 0; l < num_left(); ++l) {
-    if (OutDegree(l) >= min_degree) kept_edges += OutDegree(l);
-  }
-  std::vector<std::pair<uint64_t, uint64_t>> kept;
-  kept.reserve(kept_edges);
-  for (uint32_t l = 0; l < num_left(); ++l) {
-    if (OutDegree(l) < min_degree) continue;
-    for (uint32_t r : OutNeighbors(l)) {
-      kept.emplace_back(left_ids_[l], right_ids_[r]);
+    if (OutDegree(l) >= min_degree) {
+      ++kept_left;
+      kept_edges += OutDegree(l);
     }
   }
-  return FromEdges(kept);
+  out.left_ids_.reserve(kept_left);
+  out.out_offsets_.reserve(kept_left + 1);
+  out.out_neighbors_.reserve(kept_edges);
+
+  // Right nodes that keep at least one in-edge, in ascending (= id) order.
+  std::vector<char> right_kept(num_right(), 0);
+  for (uint32_t l = 0; l < num_left(); ++l) {
+    if (OutDegree(l) < min_degree) continue;
+    for (uint32_t r : OutNeighbors(l)) right_kept[r] = 1;
+  }
+  std::vector<uint32_t> right_remap(num_right(), kInvalidIndex);
+  uint32_t next_right = 0;
+  for (uint32_t r = 0; r < num_right(); ++r) {
+    if (right_kept[r]) right_remap[r] = next_right++;
+  }
+  out.right_ids_.reserve(next_right);
+  for (uint32_t r = 0; r < num_right(); ++r) {
+    if (right_kept[r]) out.right_ids_.push_back(right_ids_[r]);
+  }
+
+  out.out_offsets_.push_back(0);
+  for (uint32_t l = 0; l < num_left(); ++l) {
+    if (OutDegree(l) < min_degree) continue;
+    out.left_ids_.push_back(left_ids_[l]);
+    for (uint32_t r : OutNeighbors(l)) {
+      out.out_neighbors_.push_back(right_remap[r]);
+    }
+    out.out_offsets_.push_back(out.out_neighbors_.size());
+  }
+  out.BuildIndexMaps();
+  out.BuildInverse();
+  return out;
 }
 
 DegreeSummary SummarizeOutDegrees(const BipartiteGraph& g,

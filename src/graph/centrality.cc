@@ -75,34 +75,71 @@ std::vector<uint32_t> PickSources(size_t n, size_t samples, uint64_t seed) {
 
 }  // namespace
 
+namespace {
+
+/// Per-slot scratch of one in-flight BFS/Brandes source. `order` doubles as
+/// the BFS queue (a head cursor walks it), and survives until the ordered
+/// commit folds the slot's contribution into the global score.
+struct SourceScratch {
+  std::vector<int> dist;
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  std::vector<uint32_t> order;  // nodes in non-decreasing distance
+
+  void Resize(size_t n) {
+    dist.resize(n);
+    sigma.resize(n);
+    delta.resize(n);
+    order.reserve(n);
+  }
+};
+
+size_t WaveSlots(const ParallelOptions& par) {
+  return std::max<size_t>(1, par.threads() * 2);
+}
+
+}  // namespace
+
 std::vector<double> HarmonicCentrality(const WeightedGraph& g,
-                                       size_t sample_sources, uint64_t seed) {
+                                       size_t sample_sources, uint64_t seed,
+                                       const ParallelOptions& par) {
   const size_t n = g.num_nodes();
   std::vector<double> score(n, 0);
   if (n <= 1) return score;
   std::vector<uint32_t> sources = PickSources(n, sample_sources, seed);
+
   // Accumulate 1/d(source, v) into score[v]; by symmetry of distances this
-  // estimates the same quantity as summing from v outward.
-  std::vector<int> dist(n);
-  std::deque<uint32_t> queue;
-  for (uint32_t s : sources) {
-    std::fill(dist.begin(), dist.end(), -1);
-    dist[s] = 0;
-    queue.push_back(s);
-    while (!queue.empty()) {
-      uint32_t v = queue.front();
-      queue.pop_front();
-      for (uint32_t u : g.Neighbors(v)) {
-        if (dist[u] == -1) {
-          dist[u] = dist[v] + 1;
-          queue.push_back(u);
+  // estimates the same quantity as summing from v outward. Each source's
+  // BFS runs in slot-private scratch; contributions commit in source order.
+  const size_t slots = WaveSlots(par);
+  std::vector<SourceScratch> scratch(slots);
+  for (auto& sc : scratch) sc.Resize(n);
+  RunOrderedWaves(
+      par, sources.size(), slots,
+      [&](size_t i, size_t slot) {
+        SourceScratch& sc = scratch[slot];
+        std::fill(sc.dist.begin(), sc.dist.end(), -1);
+        sc.order.clear();
+        const uint32_t s = sources[i];
+        sc.dist[s] = 0;
+        sc.order.push_back(s);
+        for (size_t head = 0; head < sc.order.size(); ++head) {
+          uint32_t v = sc.order[head];
+          for (uint32_t u : g.Neighbors(v)) {
+            if (sc.dist[u] == -1) {
+              sc.dist[u] = sc.dist[v] + 1;
+              sc.order.push_back(u);
+            }
+          }
         }
-      }
-    }
-    for (uint32_t v = 0; v < n; ++v) {
-      if (v != s && dist[v] > 0) score[v] += 1.0 / dist[v];
-    }
-  }
+      },
+      [&](size_t i, size_t slot) {
+        const SourceScratch& sc = scratch[slot];
+        const uint32_t s = sources[i];
+        for (uint32_t v : sc.order) {
+          if (v != s) score[v] += 1.0 / sc.dist[v];
+        }
+      });
   const double norm = static_cast<double>(sources.size()) /
                       static_cast<double>(n) * static_cast<double>(n - 1);
   for (double& x : score) x /= norm;
@@ -110,55 +147,61 @@ std::vector<double> HarmonicCentrality(const WeightedGraph& g,
 }
 
 std::vector<double> BetweennessCentrality(const WeightedGraph& g,
-                                          size_t sample_sources,
-                                          uint64_t seed) {
+                                          size_t sample_sources, uint64_t seed,
+                                          const ParallelOptions& par) {
   const size_t n = g.num_nodes();
   std::vector<double> score(n, 0);
   if (n <= 2) return score;
   std::vector<uint32_t> sources = PickSources(n, sample_sources, seed);
 
-  // Brandes' accumulation per source.
-  std::vector<int> dist(n);
-  std::vector<double> sigma(n);
-  std::vector<double> delta(n);
-  std::vector<std::vector<uint32_t>> preds(n);
-  std::vector<uint32_t> order;  // nodes in non-decreasing distance
-  order.reserve(n);
-  std::deque<uint32_t> queue;
-
-  for (uint32_t s : sources) {
-    std::fill(dist.begin(), dist.end(), -1);
-    std::fill(sigma.begin(), sigma.end(), 0.0);
-    std::fill(delta.begin(), delta.end(), 0.0);
-    for (auto& p : preds) p.clear();
-    order.clear();
-
-    dist[s] = 0;
-    sigma[s] = 1;
-    queue.push_back(s);
-    while (!queue.empty()) {
-      uint32_t v = queue.front();
-      queue.pop_front();
-      order.push_back(v);
-      for (uint32_t u : g.Neighbors(v)) {
-        if (dist[u] == -1) {
-          dist[u] = dist[v] + 1;
-          queue.push_back(u);
+  // Brandes fan-out: every source runs its forward BFS and backward
+  // dependency accumulation in slot-private scratch. Predecessor lists are
+  // recomputed from the distance array on the backward pass (dist[v] ==
+  // dist[w] - 1) instead of materialized, which drops the vector-of-vectors
+  // churn from the inner loop. Deltas commit in ascending source order so
+  // the floating-point fold is identical for any pool width.
+  const size_t slots = WaveSlots(par);
+  std::vector<SourceScratch> scratch(slots);
+  for (auto& sc : scratch) sc.Resize(n);
+  RunOrderedWaves(
+      par, sources.size(), slots,
+      [&](size_t i, size_t slot) {
+        SourceScratch& sc = scratch[slot];
+        std::fill(sc.dist.begin(), sc.dist.end(), -1);
+        std::fill(sc.sigma.begin(), sc.sigma.end(), 0.0);
+        std::fill(sc.delta.begin(), sc.delta.end(), 0.0);
+        sc.order.clear();
+        const uint32_t s = sources[i];
+        sc.dist[s] = 0;
+        sc.sigma[s] = 1;
+        sc.order.push_back(s);
+        for (size_t head = 0; head < sc.order.size(); ++head) {
+          uint32_t v = sc.order[head];
+          for (uint32_t u : g.Neighbors(v)) {
+            if (sc.dist[u] == -1) {
+              sc.dist[u] = sc.dist[v] + 1;
+              sc.order.push_back(u);
+            }
+            if (sc.dist[u] == sc.dist[v] + 1) sc.sigma[u] += sc.sigma[v];
+          }
         }
-        if (dist[u] == dist[v] + 1) {
-          sigma[u] += sigma[v];
-          preds[u].push_back(v);
+        for (auto it = sc.order.rbegin(); it != sc.order.rend(); ++it) {
+          uint32_t w = *it;
+          const double coeff = (1.0 + sc.delta[w]) / sc.sigma[w];
+          for (uint32_t v : g.Neighbors(w)) {
+            if (sc.dist[v] == sc.dist[w] - 1) {
+              sc.delta[v] += sc.sigma[v] * coeff;
+            }
+          }
         }
-      }
-    }
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      uint32_t w = *it;
-      for (uint32_t v : preds[w]) {
-        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
-      }
-      if (w != s) score[w] += delta[w];
-    }
-  }
+      },
+      [&](size_t i, size_t slot) {
+        const SourceScratch& sc = scratch[slot];
+        const uint32_t s = sources[i];
+        for (uint32_t w : sc.order) {
+          if (w != s) score[w] += sc.delta[w];
+        }
+      });
 
   // Undirected double-counting plus sampling scale-up plus normalization.
   const double scale_up =

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/weighted_graph.h"
+#include "util/parallel.h"
 
 namespace cfnet::graph {
 
@@ -28,16 +29,28 @@ std::vector<double> DegreeCentrality(const WeightedGraph& g);
 /// skeleton: C(v) = sum_{u != v} 1/d(v,u), normalized by (n-1).
 /// Exact when `sample_sources` = 0; otherwise estimated from that many
 /// sampled sources (scales to large graphs).
+///
+/// Sources fan out over `par.pool` with per-slot BFS scratch; each source's
+/// contribution is folded into the score vector in ascending source order
+/// on the calling thread, so the result is bit-identical for every thread
+/// count and morsel size.
 std::vector<double> HarmonicCentrality(const WeightedGraph& g,
                                        size_t sample_sources = 0,
-                                       uint64_t seed = 1);
+                                       uint64_t seed = 1,
+                                       const ParallelOptions& par = {});
 
 /// Brandes betweenness centrality on the unweighted skeleton, normalized
 /// to [0,1] by (n-1)(n-2)/2. Exact when `sample_sources` = 0; otherwise a
 /// scaled estimate from sampled sources (Brandes & Pich 2007).
+///
+/// Parallelized over sources (Brandes fan-out): each source runs its BFS +
+/// dependency accumulation in private scratch, and deltas are committed in
+/// ascending source order (ordered reduction) — bit-identical to the
+/// 1-thread run for any pool width or morsel size.
 std::vector<double> BetweennessCentrality(const WeightedGraph& g,
                                           size_t sample_sources = 0,
-                                          uint64_t seed = 1);
+                                          uint64_t seed = 1,
+                                          const ParallelOptions& par = {});
 
 /// K-core decomposition (unweighted): per-node core number — the maximal
 /// k such that the node belongs to a subgraph of minimum degree k.

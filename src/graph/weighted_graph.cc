@@ -2,33 +2,79 @@
 
 #include <algorithm>
 #include <tuple>
-#include <unordered_map>
+#include <utility>
 
 namespace cfnet::graph {
 
 WeightedGraph WeightedGraph::ProjectLeft(const BipartiteGraph& g,
-                                         size_t max_right_degree) {
-  // Accumulate pair counts; key packs the (smaller, larger) dense indices.
-  std::unordered_map<uint64_t, double> pair_weight;
-  for (uint32_t r = 0; r < g.num_right(); ++r) {
-    auto investors = g.InNeighbors(r);
-    if (max_right_degree > 0 && investors.size() > max_right_degree) continue;
-    for (size_t i = 0; i < investors.size(); ++i) {
-      for (size_t j = i + 1; j < investors.size(); ++j) {
-        uint64_t key = (static_cast<uint64_t>(investors[i]) << 32) |
-                       investors[j];
-        pair_weight[key] += 1.0;
+                                         size_t max_right_degree,
+                                         const ParallelOptions& par) {
+  const size_t nl = g.num_left();
+  WeightedGraph out;
+  if (nl == 0) {
+    out.offsets_ = {0};
+    return out;
+  }
+
+  // Phase 1 — upper-triangle rows, morsel-parallel. Row i collects
+  // weight(i, j) for all j > i by scanning i's companies' investor lists
+  // (sorted, so a binary search skips the j <= i prefix) into a dense
+  // accumulator + touched list. Per-row output is written to rows[i], which
+  // is disjoint across morsels — results cannot depend on scheduling.
+  std::vector<std::vector<std::pair<uint32_t, double>>> rows(nl);
+  ForEachMorsel(par, nl, 16, [&](size_t begin, size_t end) {
+    std::vector<double> weight_to(nl, 0.0);
+    std::vector<uint32_t> touched;
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t li = static_cast<uint32_t>(i);
+      for (uint32_t c : g.OutNeighbors(li)) {
+        auto investors = g.InNeighbors(c);
+        if (max_right_degree > 0 && investors.size() > max_right_degree) {
+          continue;
+        }
+        auto it = std::upper_bound(investors.begin(), investors.end(), li);
+        for (; it != investors.end(); ++it) {
+          uint32_t j = *it;
+          if (weight_to[j] == 0.0) touched.push_back(j);
+          weight_to[j] += 1.0;
+        }
       }
+      std::sort(touched.begin(), touched.end());
+      auto& row = rows[i];
+      row.reserve(touched.size());
+      for (uint32_t j : touched) {
+        row.emplace_back(j, weight_to[j]);
+        weight_to[j] = 0.0;
+      }
+      touched.clear();
+    }
+  });
+
+  // Phase 2 — assemble the symmetric CSR directly from the sorted rows.
+  // Scanning rows in ascending i keeps every adjacency list sorted: node v
+  // first receives its smaller neighbors (while those rows are processed),
+  // then its own larger neighbors in order.
+  std::vector<size_t> degree(nl, 0);
+  size_t upper = 0;
+  for (size_t i = 0; i < nl; ++i) {
+    degree[i] += rows[i].size();
+    upper += rows[i].size();
+    for (const auto& [j, w] : rows[i]) ++degree[j];
+  }
+  out.offsets_.assign(nl + 1, 0);
+  for (size_t i = 0; i < nl; ++i) out.offsets_[i + 1] = out.offsets_[i] + degree[i];
+  out.neighbors_.resize(upper * 2);
+  out.weights_.resize(upper * 2);
+  std::vector<size_t> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+  for (size_t i = 0; i < nl; ++i) {
+    for (const auto& [j, w] : rows[i]) {
+      out.neighbors_[cursor[i]] = j;
+      out.weights_[cursor[i]++] = w;
+      out.neighbors_[cursor[j]] = static_cast<uint32_t>(i);
+      out.weights_[cursor[j]++] = w;
     }
   }
-  std::vector<std::tuple<uint32_t, uint32_t, double>> edges;
-  edges.reserve(pair_weight.size());
-  for (const auto& [key, w] : pair_weight) {
-    edges.emplace_back(static_cast<uint32_t>(key >> 32),
-                       static_cast<uint32_t>(key & 0xffffffffull), w);
-  }
-  WeightedGraph out;
-  out.FinishBuild(g.num_left(), edges);
+  out.ComputeDegrees();
   return out;
 }
 
@@ -59,7 +105,28 @@ void WeightedGraph::FinishBuild(
     neighbors_[cursor[b]] = a;
     weights_[cursor[b]++] = w;
   }
+  // Canonicalize: adjacency sorted by neighbor index so the CSR (and every
+  // kernel iterating it) is independent of the input edge order.
+  std::vector<std::pair<uint32_t, double>> row;
+  for (size_t v = 0; v < num_nodes; ++v) {
+    const size_t begin = offsets_[v];
+    const size_t end = offsets_[v + 1];
+    if (end - begin <= 1) continue;
+    row.clear();
+    for (size_t k = begin; k < end; ++k) row.emplace_back(neighbors_[k], weights_[k]);
+    std::sort(row.begin(), row.end());
+    for (size_t k = begin; k < end; ++k) {
+      neighbors_[k] = row[k - begin].first;
+      weights_[k] = row[k - begin].second;
+    }
+  }
+  ComputeDegrees();
+}
+
+void WeightedGraph::ComputeDegrees() {
+  const size_t num_nodes = offsets_.empty() ? 0 : offsets_.size() - 1;
   weighted_degree_.assign(num_nodes, 0);
+  total_weight_2m_ = 0;
   for (uint32_t v = 0; v < num_nodes; ++v) {
     auto ws = Weights(v);
     for (double w : ws) weighted_degree_[v] += w;

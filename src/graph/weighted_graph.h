@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "util/parallel.h"
 
 namespace cfnet::graph {
 
@@ -24,8 +25,15 @@ class WeightedGraph {
   /// companies i and j both invested in. Companies with in-degree above
   /// `max_right_degree` are skipped (0 = no cap) — the standard guard
   /// against quadratic blowup on super-popular items.
+  ///
+  /// The upper-triangle rows are sharded into morsels over `par.pool`; each
+  /// morsel accumulates co-investment counts in a dense touched-list scratch
+  /// (no hash map) and the CSR is assembled directly from the per-row
+  /// results, so the projection is bit-identical for any thread count and
+  /// morsel size. Adjacency lists come out sorted by neighbor index.
   static WeightedGraph ProjectLeft(const BipartiteGraph& g,
-                                   size_t max_right_degree = 0);
+                                   size_t max_right_degree = 0,
+                                   const ParallelOptions& par = {});
 
   /// Builds directly from undirected weighted edges over [0, num_nodes).
   static WeightedGraph FromEdges(
@@ -53,6 +61,8 @@ class WeightedGraph {
  private:
   void FinishBuild(size_t num_nodes,
                    std::vector<std::tuple<uint32_t, uint32_t, double>>& edges);
+  /// Fills weighted_degree_ / total_weight_2m_ from the built CSR.
+  void ComputeDegrees();
 
   std::vector<size_t> offsets_;
   std::vector<uint32_t> neighbors_;

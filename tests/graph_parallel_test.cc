@@ -1,0 +1,240 @@
+// Determinism and correctness of the parallel graph-analytics kernels:
+// every ParallelOptions-taking kernel must produce bit-identical results
+// for any thread count and any morsel size, and the bitset-accelerated
+// intersection path must agree exactly with the sorted-merge fallback.
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "community/label_propagation.h"
+#include "community/louvain.h"
+#include "core/community_metrics.h"
+#include "graph/bipartite_graph.h"
+#include "graph/centrality.h"
+#include "graph/weighted_graph.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cfnet {
+namespace {
+
+/// Heavy-tailed synthetic investor->company graph. One investor (id 1) gets
+/// a large portfolio so the bitset intersection path (degree >= 64) is
+/// exercised alongside the sorted-merge fallback.
+graph::BipartiteGraph HeavyTailed(uint64_t seed, size_t investors = 400,
+                                  size_t companies = 600) {
+  Rng rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (size_t i = 0; i < investors; ++i) {
+    const size_t degree =
+        i == 0 ? 120 : static_cast<size_t>(rng.PowerLaw(1, 40, 2.1));
+    for (size_t d = 0; d < degree; ++d) {
+      edges.emplace_back(
+          i + 1, 100000 + static_cast<uint64_t>(rng.UniformInt(
+                     0, static_cast<int64_t>(companies) - 1)));
+    }
+  }
+  return graph::BipartiteGraph::FromEdges(edges);
+}
+
+/// Flattens a weighted graph into a comparable (offset, neighbor, weight)
+/// triple-set so EXPECT_EQ reports structural differences.
+struct FlatGraph {
+  std::vector<size_t> degrees;
+  std::vector<uint32_t> neighbors;
+  std::vector<double> weights;
+
+  bool operator==(const FlatGraph&) const = default;
+};
+
+FlatGraph Flatten(const graph::WeightedGraph& g) {
+  FlatGraph flat;
+  for (uint32_t v = 0; v < g.num_nodes(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    auto ws = g.Weights(v);
+    flat.degrees.push_back(nbrs.size());
+    flat.neighbors.insert(flat.neighbors.end(), nbrs.begin(), nbrs.end());
+    flat.weights.insert(flat.weights.end(), ws.begin(), ws.end());
+  }
+  return flat;
+}
+
+/// The (threads, morsel_size) grid each kernel is checked over, against the
+/// sequential reference (pool = nullptr).
+struct GridPoint {
+  size_t threads;
+  size_t morsel;
+};
+
+constexpr GridPoint kGrid[] = {
+    {1, 0}, {2, 0}, {4, 0}, {2, 3}, {4, 7}, {4, 1 << 14},
+};
+
+TEST(GraphParallelTest, ProjectionIdenticalAcrossThreadsAndMorsels) {
+  graph::BipartiteGraph g = HeavyTailed(11);
+  FlatGraph reference = Flatten(graph::WeightedGraph::ProjectLeft(g));
+  ASSERT_FALSE(reference.neighbors.empty());
+  for (const GridPoint& p : kGrid) {
+    ThreadPool pool(p.threads);
+    ParallelOptions par{&pool, p.morsel};
+    EXPECT_EQ(Flatten(graph::WeightedGraph::ProjectLeft(g, 0, par)), reference)
+        << "threads=" << p.threads << " morsel=" << p.morsel;
+  }
+  // The degree cap must survive parallelization too.
+  FlatGraph capped = Flatten(graph::WeightedGraph::ProjectLeft(g, 25));
+  ThreadPool pool(4);
+  ParallelOptions par{&pool, 5};
+  EXPECT_EQ(Flatten(graph::WeightedGraph::ProjectLeft(g, 25, par)), capped);
+}
+
+TEST(GraphParallelTest, CentralityBitIdenticalAcrossThreadsAndMorsels) {
+  graph::BipartiteGraph g = HeavyTailed(12, 150, 200);
+  graph::WeightedGraph proj = graph::WeightedGraph::ProjectLeft(g);
+  ASSERT_GT(proj.num_nodes(), 0u);
+
+  const std::vector<double> bc = graph::BetweennessCentrality(proj);
+  const std::vector<double> hc = graph::HarmonicCentrality(proj);
+  const std::vector<double> bc_s = graph::BetweennessCentrality(proj, 40, 9);
+  const std::vector<double> hc_s = graph::HarmonicCentrality(proj, 40, 9);
+  for (const GridPoint& p : kGrid) {
+    ThreadPool pool(p.threads);
+    ParallelOptions par{&pool, p.morsel};
+    // EXPECT_EQ (not NEAR): the ordered reduction promises bit-identity.
+    EXPECT_EQ(graph::BetweennessCentrality(proj, 0, 1, par), bc);
+    EXPECT_EQ(graph::HarmonicCentrality(proj, 0, 1, par), hc);
+    EXPECT_EQ(graph::BetweennessCentrality(proj, 40, 9, par), bc_s);
+    EXPECT_EQ(graph::HarmonicCentrality(proj, 40, 9, par), hc_s);
+  }
+}
+
+TEST(GraphParallelTest, SharedInvestmentSizesIdenticalAcrossSharding) {
+  graph::BipartiteGraph g = HeavyTailed(13);
+  // Community containing the high-degree investor (dense index of id 1)
+  // plus a spread of ordinary ones.
+  std::vector<uint32_t> members;
+  for (uint32_t l = 0; l < g.num_left(); l += 3) members.push_back(l);
+  ASSERT_GE(members.size(), 64u);
+
+  const std::vector<double> all =
+      core::SharedInvestmentSizes(g, members);  // all-pairs path
+  ASSERT_EQ(all.size(), members.size() * (members.size() - 1) / 2);
+  const std::vector<double> sampled =
+      core::SharedInvestmentSizes(g, members, 500, 3);  // sampled path
+  ASSERT_EQ(sampled.size(), 500u);
+  for (const GridPoint& p : kGrid) {
+    ThreadPool pool(p.threads);
+    ParallelOptions par{&pool, p.morsel};
+    EXPECT_EQ(core::SharedInvestmentSizes(g, members, 2000000, 1, par), all)
+        << "threads=" << p.threads << " morsel=" << p.morsel;
+    EXPECT_EQ(core::SharedInvestmentSizes(g, members, 500, 3, par), sampled);
+  }
+}
+
+TEST(GraphParallelTest, BitsetIntersectionMatchesBruteForce) {
+  graph::BipartiteGraph g = HeavyTailed(14);
+  std::vector<uint32_t> members;
+  for (uint32_t l = 0; l < std::min<size_t>(g.num_left(), 50); ++l) {
+    members.push_back(l);
+  }
+  ASSERT_GE(g.OutDegree(members[0]), 64u);  // row 0 takes the bitset path
+  const std::vector<double> sizes = core::SharedInvestmentSizes(g, members);
+  size_t pos = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j, ++pos) {
+      auto a = g.OutNeighbors(members[i]);
+      auto b = g.OutNeighbors(members[j]);
+      std::vector<uint32_t> shared;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(shared));
+      ASSERT_EQ(sizes[pos], static_cast<double>(shared.size()))
+          << "pair (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(GraphParallelTest, GlobalSampleAndPercentIdenticalAcrossSharding) {
+  graph::BipartiteGraph g = HeavyTailed(15);
+  const std::vector<double> sample =
+      core::GlobalSharedInvestmentSample(g, 2000, 5);
+  ASSERT_EQ(sample.size(), 2000u);
+
+  community::CommunitySet set;
+  set.num_nodes = g.num_left();
+  for (uint32_t l = 0; l < g.num_left(); ++l) {
+    if (set.communities.empty() || set.communities.back().size() == 16) {
+      set.communities.emplace_back();
+    }
+    set.communities.back().push_back(l);
+  }
+  const double percent = core::MeanSharedInvestorCompanyPercent(g, set);
+  ASSERT_GT(percent, 0.0);
+  for (const GridPoint& p : kGrid) {
+    ThreadPool pool(p.threads);
+    ParallelOptions par{&pool, p.morsel};
+    EXPECT_EQ(core::GlobalSharedInvestmentSample(g, 2000, 5, par), sample);
+    EXPECT_EQ(core::MeanSharedInvestorCompanyPercent(g, set, 2, par), percent);
+  }
+}
+
+TEST(GraphParallelTest, CommunityLabelsIndependentOfProjectionThreads) {
+  // Louvain and label propagation are sequential kernels, but they consume
+  // the parallel projection: labels must not depend on how it was built.
+  graph::BipartiteGraph g = HeavyTailed(16);
+  graph::WeightedGraph ref = graph::WeightedGraph::ProjectLeft(g);
+  community::LouvainResult louvain_ref = community::RunLouvain(ref);
+  community::LabelPropagationResult lp_ref = community::RunLabelPropagation(ref);
+  ASSERT_FALSE(louvain_ref.labels.empty());
+  for (size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    ParallelOptions par{&pool, 9};
+    graph::WeightedGraph proj = graph::WeightedGraph::ProjectLeft(g, 0, par);
+    EXPECT_EQ(community::RunLouvain(proj).labels, louvain_ref.labels);
+    EXPECT_EQ(community::RunLabelPropagation(proj).labels, lp_ref.labels);
+  }
+}
+
+TEST(GraphParallelTest, FilterLeftDirectCsrMatchesRebuild) {
+  graph::BipartiteGraph g = HeavyTailed(17);
+  for (size_t min_degree : {2u, 4u, 9u}) {
+    graph::BipartiteGraph filtered = g.FilterLeftByMinDegree(min_degree);
+    // Reference: re-running FromEdges over the kept edges must give the
+    // same graph the direct CSR construction produced.
+    std::vector<std::pair<uint64_t, uint64_t>> kept;
+    for (uint32_t l = 0; l < g.num_left(); ++l) {
+      if (g.OutDegree(l) < min_degree) continue;
+      for (uint32_t r : g.OutNeighbors(l)) {
+        kept.emplace_back(g.LeftId(l), g.RightId(r));
+      }
+    }
+    graph::BipartiteGraph reference = graph::BipartiteGraph::FromEdges(kept);
+    ASSERT_EQ(filtered.num_left(), reference.num_left());
+    ASSERT_EQ(filtered.num_right(), reference.num_right());
+    ASSERT_EQ(filtered.num_edges(), reference.num_edges());
+    for (uint32_t l = 0; l < filtered.num_left(); ++l) {
+      ASSERT_EQ(filtered.LeftId(l), reference.LeftId(l));
+      auto fa = filtered.OutNeighbors(l);
+      auto fb = reference.OutNeighbors(l);
+      ASSERT_EQ(std::vector<uint32_t>(fa.begin(), fa.end()),
+                std::vector<uint32_t>(fb.begin(), fb.end()));
+    }
+    for (uint32_t r = 0; r < filtered.num_right(); ++r) {
+      ASSERT_EQ(filtered.RightId(r), reference.RightId(r));
+      auto ia = filtered.InNeighbors(r);
+      auto ib = reference.InNeighbors(r);
+      ASSERT_EQ(std::vector<uint32_t>(ia.begin(), ia.end()),
+                std::vector<uint32_t>(ib.begin(), ib.end()));
+    }
+    // Index maps must resolve the remapped ids.
+    for (uint32_t l = 0; l < filtered.num_left(); ++l) {
+      EXPECT_EQ(filtered.LeftIndexOf(filtered.LeftId(l)), l);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfnet
