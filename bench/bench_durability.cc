@@ -1,0 +1,219 @@
+// Durable-storage overhead: what the atomic commit protocol (write-temp ->
+// CRC footer -> read-back verify -> rename) costs over raw writes, and what
+// footer verification costs on the snapshot scan path. The scan-side number
+// is the one the durability contract bounds: committed snapshots must scan
+// within ~10% of the raw BENCH_ingest throughput, since every analysis load
+// now verifies footers. Results go to --json=PATH (default
+// BENCH_durability.json); --records=N, --shards=S and --reps=R size the run.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/records.h"
+#include "dfs/commit.h"
+#include "dfs/dfs.h"
+#include "dfs/jsonl.h"
+#include "json/json.h"
+#include "json/reader.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cfnet::bench {
+namespace {
+
+using core::StartupRecord;
+
+/// Same synthetic startup line mix as bench_ingest, so the scan-side
+/// overhead here is directly comparable to BENCH_ingest.json numbers.
+json::Json MakeDoc(uint64_t i, Rng& rng) {
+  json::Json doc = json::Json::MakeObject();
+  doc.Set("id", static_cast<int64_t>(i + 1));
+  doc.Set("name", "Startup \"" + std::to_string(i) + "\" Inc.\n");
+  doc.Set("twitter_url",
+          rng.NextDouble() < 0.6 ? "https://twitter.com/s" + std::to_string(i) : "");
+  doc.Set("facebook_url",
+          rng.NextDouble() < 0.5 ? "https://facebook.com/s" + std::to_string(i) : "");
+  doc.Set("crunchbase_url",
+          rng.NextDouble() < 0.4 ? "https://crunchbase.com/s" + std::to_string(i) : "");
+  doc.Set("video_url", rng.NextDouble() < 0.2 ? "https://v/" + std::to_string(i) : "");
+  doc.Set("fundraising", rng.NextDouble() < 0.3);
+  doc.Set("follower_count", static_cast<int64_t>(rng.Next() % 100000));
+  doc.Set("quality", static_cast<double>(rng.NextDouble() * 10.0));
+  json::Json markets = json::Json::MakeArray();
+  markets.Append("b2b");
+  markets.Append("saas");
+  doc.Set("markets", markets);
+  return doc;
+}
+
+struct Timing {
+  double ms_per_rep = 0;
+};
+
+template <typename F>
+Timing Time(F&& fn, int reps) {
+  fn();  // warmup
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  auto t1 = std::chrono::steady_clock::now();
+  Timing t;
+  t.ms_per_rep = std::chrono::duration<double, std::milli>(t1 - t0).count() /
+                 static_cast<double>(reps);
+  return t;
+}
+
+void RunDurabilityBench(const cfnet::FlagParser& flags) {
+  const size_t n = static_cast<size_t>(flags.GetInt("records", 200000));
+  const size_t shards = static_cast<size_t>(flags.GetInt("shards", 4));
+  const std::string path = flags.GetString("json", "BENCH_durability.json");
+  const int reps = static_cast<int>(flags.GetInt("reps", 5));
+
+  Rng rng(20260806);
+  std::vector<json::Json> docs;
+  docs.reserve(n);
+  for (size_t i = 0; i < n; ++i) docs.push_back(MakeDoc(i, rng));
+
+  json::Json out_doc = json::Json::MakeObject();
+  out_doc.Set("bench", "bench_durability");
+  out_doc.Set("records", static_cast<int64_t>(n));
+  out_doc.Set("shards", static_cast<int64_t>(shards));
+  json::Json workloads = json::Json::MakeArray();
+
+  double corpus_mb = 0;  // set once the first writer pass sizes the corpus
+  auto emit = [&workloads, &corpus_mb, n](const std::string& name,
+                                          const Timing& t) {
+    json::Json w = json::Json::MakeObject();
+    w.Set("name", name);
+    w.Set("ms_per_rep", t.ms_per_rep);
+    w.Set("records_per_sec",
+          t.ms_per_rep > 0 ? static_cast<double>(n) / t.ms_per_rep * 1e3 : 0.0);
+    w.Set("mb_per_sec",
+          t.ms_per_rep > 0 ? corpus_mb / t.ms_per_rep * 1e3 : 0.0);
+    workloads.Append(std::move(w));
+    std::printf("%-22s %9.2f ms  %8.2f MB/s  %7.1f krec/s\n", name.c_str(),
+                t.ms_per_rep, corpus_mb / t.ms_per_rep * 1e3,
+                static_cast<double>(n) / t.ms_per_rep);
+    return t.ms_per_rep;
+  };
+
+  Section("Writer path: raw appends vs atomic commits (" + std::to_string(n) +
+          " records, " + std::to_string(shards) + " shards)");
+
+  // One full snapshot-writer pass: every record through JsonLinesWriter into
+  // a fresh DFS, `durable` toggling raw Append vs the commit protocol.
+  auto write_pass = [&](bool durable, dfs::MiniDfs* keep,
+                        std::vector<std::string>* keep_paths) {
+    dfs::MiniDfs local;
+    dfs::MiniDfs* target = keep != nullptr ? keep : &local;
+    for (size_t s = 0; s < shards; ++s) {
+      std::string shard_path = "/bench/startups/part-" + std::to_string(s);
+      dfs::JsonLinesWriter writer(target, shard_path, 1 << 20, durable);
+      for (size_t i = s; i < n; i += shards) {
+        CFNET_CHECK(writer.Write(docs[i]).ok());
+      }
+      CFNET_CHECK(writer.Flush().ok());
+      if (keep_paths != nullptr) keep_paths->push_back(shard_path);
+    }
+  };
+
+  // Size the corpus (and keep both variants for the scan-side comparison).
+  dfs::MiniDfs raw_dfs;
+  std::vector<std::string> raw_paths;
+  write_pass(/*durable=*/false, &raw_dfs, &raw_paths);
+  uint64_t total_bytes = 0;
+  for (const std::string& p : raw_paths) total_bytes += *raw_dfs.FileSize(p);
+  corpus_mb = static_cast<double>(total_bytes) / 1e6;
+  out_doc.Set("bytes", static_cast<int64_t>(total_bytes));
+
+  dfs::MiniDfs committed_dfs;
+  std::vector<std::string> committed_paths;
+  write_pass(/*durable=*/true, &committed_dfs, &committed_paths);
+
+  const double raw_write_ms = emit(
+      "write_raw_append",
+      Time([&]() { write_pass(false, nullptr, nullptr); }, reps));
+  const double commit_write_ms = emit(
+      "write_commit",
+      Time([&]() { write_pass(true, nullptr, nullptr); }, reps));
+
+  // Commit primitives on one whole-shard payload: where the protocol's cost
+  // comes from (extra read-back verify vs the rename being free).
+  const std::string payload = *committed_dfs.ReadFile(committed_paths[0]);
+  {
+    dfs::MiniDfs d;
+    emit("primitive_writefile", Time([&]() {
+      CFNET_CHECK(d.WriteFile("/p", payload).ok());
+    }, reps));
+    dfs::CommitOptions no_verify;
+    no_verify.verify_after_write = false;
+    emit("primitive_commit_nv", Time([&]() {
+      CFNET_CHECK(dfs::CommitFile(&d, "/p", payload, no_verify).ok());
+    }, reps));
+    emit("primitive_commit", Time([&]() {
+      CFNET_CHECK(dfs::CommitFile(&d, "/p", payload).ok());
+    }, reps));
+  }
+
+  Section("Scan path: footer-verified vs raw snapshots");
+
+  auto scan = [&](const dfs::MiniDfs& d, const std::vector<std::string>& paths_,
+                  ThreadPool* pool) {
+    dfs::ScanOptions options;
+    options.pool = pool;
+    auto decode = [](std::string_view line) -> Result<StartupRecord> {
+      json::JsonReader reader(line);
+      CFNET_ASSIGN_OR_RETURN(StartupRecord rec, StartupRecord::Decode(reader));
+      CFNET_RETURN_IF_ERROR(reader.Finish());
+      return rec;
+    };
+    auto parts = dfs::ScanJsonLines<StartupRecord>(d, paths_, decode, options);
+    CFNET_CHECK(parts.ok());
+    int64_t sum = 0;
+    for (const auto& part : *parts) {
+      for (const StartupRecord& r : part) sum += r.follower_count;
+    }
+    benchmark::DoNotOptimize(sum);
+  };
+
+  ThreadPool pool(4);
+  const double scan_raw_ms = emit(
+      "scan_raw", Time([&]() { scan(raw_dfs, raw_paths, &pool); }, reps));
+  const double scan_verified_ms = emit(
+      "scan_footer_verified",
+      Time([&]() { scan(committed_dfs, committed_paths, &pool); }, reps));
+
+  const double scan_overhead_pct =
+      scan_raw_ms > 0 ? (scan_verified_ms - scan_raw_ms) / scan_raw_ms * 100.0
+                      : 0.0;
+  const double write_overhead_pct =
+      raw_write_ms > 0
+          ? (commit_write_ms - raw_write_ms) / raw_write_ms * 100.0
+          : 0.0;
+  out_doc.Set("workloads", std::move(workloads));
+  out_doc.Set("scan_footer_overhead_pct", scan_overhead_pct);
+  out_doc.Set("write_commit_overhead_pct", write_overhead_pct);
+  std::printf("footer verification scan overhead: %+.1f%% (budget <10%%)\n",
+              scan_overhead_pct);
+  std::printf("commit protocol writer overhead:   %+.1f%%\n",
+              write_overhead_pct);
+
+  std::ofstream out(path);
+  out << out_doc.Dump(2) << "\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace cfnet::bench
+
+int main(int argc, char** argv) {
+  cfnet::FlagParser flags(argc, argv);
+  cfnet::bench::RunDurabilityBench(flags);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/platform.h"
 
+#include "dfs/commit.h"
 #include "dfs/jsonl.h"
 #include "util/logging.h"
 
@@ -32,9 +33,11 @@ namespace {
 template <typename T>
 Result<std::vector<T>> LoadTypedSnapshot(
     const dfs::MiniDfs& dfs, const std::vector<std::string>& files,
-    dataflow::ExecutionContext* ctx) {
+    dataflow::ExecutionContext* ctx, bool salvage, dfs::ScanReport* report) {
   dfs::ScanOptions scan;
   scan.pool = &ctx->pool();
+  scan.salvage = salvage;
+  scan.report = report;
   auto decode = [](std::string_view line) -> Result<T> {
     json::JsonReader reader(line);
     CFNET_ASSIGN_OR_RETURN(T record, T::Decode(reader));
@@ -62,6 +65,8 @@ Result<dataflow::Dataset<json::Json>> ExploratoryPlatform::LoadSnapshotDataset(
   // the dataset directly, so no repartition pass runs.
   dfs::ScanOptions scan;
   scan.pool = &ctx_->pool();
+  scan.salvage = options_.salvage_loads;
+  scan.report = &scan_report_;
   CFNET_ASSIGN_OR_RETURN(
       auto parts, dfs::ScanJsonLinesDom(*dfs_, dfs_->List(dir), scan));
   return dataflow::Dataset<json::Json>::FromPartitions(ctx_, std::move(parts));
@@ -73,27 +78,42 @@ Result<AnalysisInputs> ExploratoryPlatform::LoadInputs() {
   }
   if (cached_inputs_ != nullptr) return *cached_inputs_;
 
+  const bool salvage = options_.salvage_loads;
+  if (salvage) {
+    // Repair before reading: orphaned temps vanish, bad-footer shards move
+    // under /.quarantine (and out of the List() results below).
+    dfs::RecoveryReport swept =
+        dfs::SweepDir(dfs_.get(), options_.crawl.snapshot_dir);
+    scan_report_.quarantined_paths.insert(scan_report_.quarantined_paths.end(),
+                                          swept.quarantined_paths.begin(),
+                                          swept.quarantined_paths.end());
+  }
   AnalysisInputs inputs;
   CFNET_ASSIGN_OR_RETURN(
       inputs.startups,
       LoadTypedSnapshot<StartupRecord>(
-          *dfs_, dfs_->List(crawler_->StartupSnapshotDir()), ctx_.get()));
+          *dfs_, dfs_->List(crawler_->StartupSnapshotDir()), ctx_.get(),
+          salvage, &scan_report_));
   CFNET_ASSIGN_OR_RETURN(
       inputs.users,
       LoadTypedSnapshot<UserRecord>(
-          *dfs_, dfs_->List(crawler_->UserSnapshotDir()), ctx_.get()));
+          *dfs_, dfs_->List(crawler_->UserSnapshotDir()), ctx_.get(), salvage,
+          &scan_report_));
   CFNET_ASSIGN_OR_RETURN(
       inputs.crunchbase,
       LoadTypedSnapshot<CrunchBaseRecord>(
-          *dfs_, dfs_->List(crawler_->CrunchBaseSnapshotDir()), ctx_.get()));
+          *dfs_, dfs_->List(crawler_->CrunchBaseSnapshotDir()), ctx_.get(),
+          salvage, &scan_report_));
   CFNET_ASSIGN_OR_RETURN(
       inputs.facebook,
       LoadTypedSnapshot<FacebookRecord>(
-          *dfs_, dfs_->List(crawler_->FacebookSnapshotDir()), ctx_.get()));
+          *dfs_, dfs_->List(crawler_->FacebookSnapshotDir()), ctx_.get(),
+          salvage, &scan_report_));
   CFNET_ASSIGN_OR_RETURN(
       inputs.twitter,
       LoadTypedSnapshot<TwitterRecord>(
-          *dfs_, dfs_->List(crawler_->TwitterSnapshotDir()), ctx_.get()));
+          *dfs_, dfs_->List(crawler_->TwitterSnapshotDir()), ctx_.get(),
+          salvage, &scan_report_));
   cached_inputs_ = std::make_unique<AnalysisInputs>(inputs);
   return inputs;
 }

@@ -9,6 +9,7 @@
 #include "dataflow/context.h"
 #include "dataflow/dataset.h"
 #include "dfs/dfs.h"
+#include "dfs/jsonl.h"
 #include "net/social_web.h"
 #include "synth/world.h"
 #include "util/result.h"
@@ -43,6 +44,13 @@ class ExploratoryPlatform {
     dfs::DfsConfig dfs;
     /// Worker threads for the analytics engine (0 = hardware default).
     size_t analytics_parallelism = 0;
+    /// Corruption-aware loads: before reading, sweep the snapshot tree
+    /// (GC orphaned temp files, quarantine bad-footer shards), then scan in
+    /// salvage mode — undecodable lines are dropped and counted instead of
+    /// failing the analysis. `scan_report()` surfaces what was skipped.
+    /// Off by default: a healthy pipeline should fail loudly on damage it
+    /// did not expect.
+    bool salvage_loads = false;
   };
 
   explicit ExploratoryPlatform(const Options& options);
@@ -69,6 +77,10 @@ class ExploratoryPlatform {
   const crawler::CrawlReport& crawl_report() const {
     return crawler_->report();
   }
+  /// Aggregate scan accounting across every LoadInputs/LoadSnapshotDataset
+  /// call: files scanned, footer-verified vs raw, salvaged drops, and the
+  /// paths quarantined by the pre-load sweep (salvage mode only).
+  const dfs::ScanReport& scan_report() const { return scan_report_; }
   std::shared_ptr<dataflow::ExecutionContext> context() { return ctx_; }
 
  private:
@@ -80,6 +92,7 @@ class ExploratoryPlatform {
   std::shared_ptr<dataflow::ExecutionContext> ctx_;
   bool collected_ = false;
   std::unique_ptr<AnalysisInputs> cached_inputs_;
+  dfs::ScanReport scan_report_;
 };
 
 }  // namespace cfnet::core

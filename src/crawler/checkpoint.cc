@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "dfs/commit.h"
 #include "json/json.h"
 #include "util/crc32.h"
 #include "util/string_util.h"
@@ -78,6 +79,8 @@ json::Json ReportToJson(const CrawlReport& r) {
   o.Set("checkpoint_restores", r.checkpoint_restores);
   o.Set("dead_lettered_ids", r.dead_lettered_ids);
   o.Set("dead_letters_replayed", r.dead_letters_replayed);
+  o.Set("storage_temps_removed", r.storage_temps_removed);
+  o.Set("storage_quarantined", r.storage_quarantined);
   json::Json degraded = json::Json::MakeArray();
   for (const DegradedReport& d : r.degraded_phases) {
     json::Json e = json::Json::MakeObject();
@@ -113,6 +116,9 @@ CrawlReport ReportFromJson(const json::Json& o) {
   r.checkpoint_restores = o.Get("checkpoint_restores").AsInt();
   r.dead_lettered_ids = o.Get("dead_lettered_ids").AsInt();
   r.dead_letters_replayed = o.Get("dead_letters_replayed").AsInt();
+  // Absent in pre-durability checkpoints; Get() falls back to 0.
+  r.storage_temps_removed = o.Get("storage_temps_removed").AsInt();
+  r.storage_quarantined = o.Get("storage_quarantined").AsInt();
   for (const json::Json& e : o.Get("degraded_phases").array()) {
     DegradedReport d;
     d.phase = e.Get("phase").AsString();
@@ -242,6 +248,10 @@ Result<CheckpointState> CheckpointStore::Deserialize(
 CheckpointStore::CheckpointStore(dfs::MiniDfs* dfs, std::string dir, int keep)
     : dfs_(dfs), dir_(std::move(dir)), keep_(std::max(1, keep)) {
   if (dir_.empty() || dir_.back() != '/') dir_ += '/';
+  // A previous incarnation may have died mid-commit: GC its orphaned temp
+  // file and quarantine anything with a broken footer before trusting the
+  // directory listing.
+  dfs::SweepDir(dfs_, dir_);
   // Continue the sequence of any checkpoints already on disk (a resumed
   // crawler keeps checkpointing into the same directory).
   for (const std::string& path : ListFiles()) {
@@ -255,15 +265,20 @@ CheckpointStore::CheckpointStore(dfs::MiniDfs* dfs, std::string dir, int keep)
 std::vector<std::string> CheckpointStore::ListFiles() const {
   std::vector<std::string> out;
   for (const std::string& path : dfs_->List(dir_)) {
-    if (StartsWith(path, dir_ + "ckpt-")) out.push_back(path);
+    if (StartsWith(path, dir_ + "ckpt-") && !dfs::IsTempPath(path)) {
+      out.push_back(path);
+    }
   }
   return out;  // List() is sorted; zero-padded names sort by sequence
 }
 
 Status CheckpointStore::Save(CheckpointState* state) {
   state->seq = next_seq_++;
+  // Atomic commit: a crash anywhere in here leaves either the previous
+  // checkpoint set or the previous set plus a fully verified new file —
+  // never a half-written ckpt that LoadLatestValid must CRC-reject.
   CFNET_RETURN_IF_ERROR(
-      dfs_->WriteFile(dir_ + FileName(state->seq), Serialize(*state)));
+      dfs::CommitFile(dfs_, dir_ + FileName(state->seq), Serialize(*state)));
   std::vector<std::string> files = ListFiles();
   for (size_t i = 0; i + keep_ < files.size(); ++i) {
     CFNET_RETURN_IF_ERROR(dfs_->Delete(files[i]));
@@ -276,6 +291,18 @@ Result<CheckpointState> CheckpointStore::LoadLatestValid() const {
   for (auto it = files.rbegin(); it != files.rend(); ++it) {
     auto contents = dfs_->ReadFile(*it);
     if (!contents.ok()) continue;  // lost replicas: fall back to older
+    // Strip a valid commit footer; a corrupt one disqualifies the file
+    // (fall back to the previous checkpoint, same as a torn payload).
+    uint64_t payload_len = 0;
+    switch (dfs::InspectFooter(*contents, &payload_len)) {
+      case dfs::FooterState::kValid:
+        contents->resize(payload_len);
+        break;
+      case dfs::FooterState::kAbsent:
+        break;  // legacy raw checkpoint: the CFNETCKPT1 header still guards it
+      case dfs::FooterState::kCorrupt:
+        continue;
+    }
     auto state = Deserialize(*contents);
     if (state.ok()) return state;
   }

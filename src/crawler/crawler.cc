@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "crawler/checkpoint.h"
+#include "dfs/commit.h"
 #include "dfs/jsonl.h"
 #include "json/reader.h"
 #include "net/urls.h"
@@ -163,18 +164,27 @@ Status Crawler::SetUpTokens() {
   // the 403 path.
   Shard& shard = *shards_[0];
   for (int m = 0; m < config_.num_twitter_machines; ++m) {
-    std::string owner = "machine-" + std::to_string(m);
-    for (int a = 0; a < config_.twitter_apps_per_machine; ++a) {
-      net::ApiResponse resp = FetchWithRetry(
-          &web_->twitter(),
-          net::ApiRequest("apps.register", {{"owner", owner}}), nullptr,
-          config_.fetch, &shard.clock(), &shard.counters());
-      if (resp.status == 403) break;  // owner hit the app cap
-      if (!resp.ok()) {
-        return Status::Unavailable("twitter app registration failed: " +
-                                   resp.body.Get("error").AsString());
+    // App registration is not idempotent: an incarnation that died before
+    // its first checkpoint left its owners at the app cap with the tokens
+    // lost. Such a restart provisions fresh owners (generation suffix)
+    // instead of failing — the operator move of registering new apps.
+    for (int gen = 0; gen < 16; ++gen) {
+      std::string owner = "machine-" + std::to_string(m) +
+                          (gen == 0 ? "" : "-r" + std::to_string(gen));
+      const size_t before = twitter_tokens_.size();
+      for (int a = 0; a < config_.twitter_apps_per_machine; ++a) {
+        net::ApiResponse resp = FetchWithRetry(
+            &web_->twitter(),
+            net::ApiRequest("apps.register", {{"owner", owner}}), nullptr,
+            config_.fetch, &shard.clock(), &shard.counters());
+        if (resp.status == 403) break;  // owner hit the app cap
+        if (!resp.ok()) {
+          return Status::Unavailable("twitter app registration failed: " +
+                                     resp.body.Get("error").AsString());
+        }
+        twitter_tokens_.push_back(resp.body.Get("access_token").AsString());
       }
-      twitter_tokens_.push_back(resp.body.Get("access_token").AsString());
+      if (twitter_tokens_.size() > before) break;  // owner yielded tokens
     }
   }
   if (twitter_tokens_.empty()) {
@@ -307,10 +317,30 @@ Status Crawler::Run() {
 
 Status Crawler::Resume() {
   if (checkpoints_ == nullptr) return Run();
+  // Repair the snapshot tree before trusting it: GC temp files the dying
+  // incarnation orphaned mid-commit and quarantine bad-footer files. (The
+  // checkpoint dir was already swept when the store was constructed.)
+  dfs::RecoveryReport swept = dfs::SweepDir(dfs_, config_.snapshot_dir);
   auto loaded = checkpoints_->LoadLatestValid();
-  if (!loaded.ok()) return Run();  // nothing (valid) to resume from
+  if (!loaded.ok()) {
+    // The previous incarnation died before its first checkpoint, so any
+    // snapshot records it left have no watermark to roll back to. Run()
+    // re-crawls from scratch; keeping the stale shards would duplicate
+    // every record they hold.
+    for (const std::string& path : dfs_->List(config_.snapshot_dir)) {
+      if (StartsWith(path, checkpoints_->dir())) continue;
+      CFNET_RETURN_IF_ERROR(dfs_->Delete(path));
+    }
+    report_.storage_temps_removed += swept.temp_files_removed;
+    report_.storage_quarantined += swept.files_quarantined;
+    return Run();
+  }
   CheckpointState st = std::move(loaded).value();
   CFNET_RETURN_IF_ERROR(RestoreFromCheckpoint(st));
+  // After the restore: RestoreFromCheckpoint replaces report_ with the
+  // checkpointed one, and this incarnation's sweep happened on top of that.
+  report_.storage_temps_removed += swept.temp_files_removed;
+  report_.storage_quarantined += swept.files_quarantined;
   return RunFrom(PhaseIndex(st.phase), static_cast<size_t>(st.phase_cursor));
 }
 

@@ -113,6 +113,11 @@ struct CrawlReport {
   int64_t checkpoint_restores = 0;
   int64_t dead_lettered_ids = 0;
   int64_t dead_letters_replayed = 0;
+  /// Storage recovery: orphaned temp files GC'd and corrupt-footer files
+  /// quarantined by the sweeps Resume() runs before trusting the snapshot
+  /// tree (see dfs/commit.h).
+  int64_t storage_temps_removed = 0;
+  int64_t storage_quarantined = 0;
   std::vector<DegradedReport> degraded_phases;
 };
 

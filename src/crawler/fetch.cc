@@ -82,6 +82,10 @@ net::ApiResponse FetchWithRetry(net::ApiService* service,
     request.access_token = tokens->current();
   }
   int attempt = 0;
+  ExponentialBackoff backoff(
+      BackoffPolicy{policy.backoff_base_micros, policy.backoff_multiplier,
+                    policy.backoff_max_micros, policy.backoff_jitter},
+      policy.backoff_seed);
   size_t rotations_this_window = 0;
   for (;;) {
     if (breaker != nullptr && !breaker->AllowRequest(*worker_time)) {
@@ -118,7 +122,7 @@ net::ApiResponse FetchWithRetry(net::ApiService* service,
         return resp;
       }
       // Exponential backoff in virtual time.
-      *worker_time += policy.backoff_base_micros << attempt;
+      *worker_time += backoff.NextDelayMicros();
       ++attempt;
       ++counters->retries;
       continue;

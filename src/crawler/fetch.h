@@ -9,14 +9,24 @@
 #include <vector>
 
 #include "net/service.h"
+#include "util/backoff.h"
 #include "util/result.h"
 
 namespace cfnet::crawler {
 
 /// Retry/backoff and rate-limit-handling policy for one crawler worker.
+/// Delays come from util::ExponentialBackoff; the defaults (multiplier 2,
+/// no cap, no jitter) reproduce the historical `base << attempt` schedule
+/// bit-for-bit, which the virtual-time tests rely on.
 struct FetchPolicy {
   int max_retries = 4;
   int64_t backoff_base_micros = 500000;  // 0.5 s, doubled per attempt
+  double backoff_multiplier = 2.0;
+  int64_t backoff_max_micros = 0;  // per-delay cap; 0 = uncapped
+  /// Jitter fraction in [0, 1] (see BackoffPolicy::jitter); deterministic
+  /// draws keyed on `backoff_seed`, so a given worker replays exactly.
+  double backoff_jitter = 0.0;
+  uint64_t backoff_seed = 0;
   /// When rate limited: rotate through the token pool before waiting; if
   /// every token is exhausted, advance the worker clock to the earliest
   /// retry time (waiting out the window).

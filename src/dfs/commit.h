@@ -1,0 +1,132 @@
+#ifndef CFNET_DFS_COMMIT_H_
+#define CFNET_DFS_COMMIT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dfs/dfs.h"
+#include "util/backoff.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cfnet::dfs {
+
+/// Durable-write protocol for snapshot/checkpoint artifacts.
+///
+/// Every committed file carries a fixed-width 40-byte trailer:
+///
+///     CFNETFTR1 <8-hex crc32> <20-digit payload length>\n
+///
+/// and is produced by write-to-temp -> footer -> read-back verify ->
+/// atomic rename. The footer is the only defence that works against
+/// corruption introduced *above* the replication layer (silent fsync loss,
+/// rotten write buffers): block checksums are computed from whatever bytes
+/// the write handed down, so they verify "clean" even when those bytes are
+/// wrong. Readers that find a valid footer get an end-to-end integrity
+/// guarantee; files without one (legacy raw writes) still read back as-is.
+
+/// Fixed footer width in bytes.
+inline constexpr size_t kCommitFooterSize = 40;
+
+/// Footer magic (followed by one space in the serialized form).
+inline constexpr std::string_view kCommitFooterMagic = "CFNETFTR1";
+
+/// Suffix marking an uncommitted temp file. A crash between write and
+/// rename orphans the temp; recovery sweeps delete it.
+inline constexpr std::string_view kTempSuffix = ".tmp";
+
+/// Namespace root that quarantined (bad-footer) files are renamed under.
+/// Lives outside every data-dir prefix, so List()-driven consumers never
+/// see quarantined files, but operators can inspect them.
+inline constexpr std::string_view kQuarantineRoot = "/.quarantine";
+
+/// Serializes the 40-byte footer for a payload with the given CRC/length.
+std::string MakeCommitFooter(uint32_t payload_crc, uint64_t payload_len);
+
+/// What the tail of a file looks like to the commit protocol.
+enum class FooterState {
+  kValid,    // well-formed footer, CRC and length match the payload
+  kAbsent,   // no footer magic at the expected offset (legacy raw file)
+  kCorrupt,  // footer magic present but CRC/length disagree with the bytes
+};
+
+/// Classifies `file` and, when the footer is valid, stores the payload
+/// length (file size minus footer) in `*payload_len`.
+FooterState InspectFooter(std::string_view file, uint64_t* payload_len);
+
+/// `path` + ".tmp" — the uncommitted staging name.
+std::string TempPath(const std::string& path);
+bool IsTempPath(std::string_view path);
+
+/// "/.quarantine" + `path` — where a bad-footer file is moved instead of
+/// aborting the scan that found it.
+std::string QuarantinePath(const std::string& path);
+
+/// Knobs for CommitFile/CommitAppend/ReadCommitted retry behaviour.
+struct CommitOptions {
+  /// Total tries per operation (first attempt included).
+  int max_attempts = 4;
+  /// Delay schedule charged to `clock_micros` between attempts. Retries
+  /// also consume fresh storage op serials, which is what lets a commit
+  /// escape an op-indexed fault window deterministically.
+  BackoffPolicy backoff{/*base_micros=*/10000, /*multiplier=*/2.0,
+                        /*max_micros=*/0, /*jitter=*/0.0};
+  uint64_t backoff_seed = 0;
+  /// Virtual clock the backoff delays accrue to (nullptr = untracked).
+  int64_t* clock_micros = nullptr;
+  /// Read the temp file back and verify its footer before renaming.
+  /// This is what catches silent fsync loss — a write that reports OK but
+  /// persisted a prefix. Leave on unless benchmarking raw commit cost;
+  /// exactly-once recovery relies on it.
+  bool verify_after_write = true;
+};
+
+/// Atomically replaces `path` with `payload` + footer:
+/// write `<path>.tmp` -> verify read-back -> rename over `path`.
+/// On failure the target is never half-written: either the old content
+/// survives intact or the new content is fully committed. Best-effort
+/// deletes the temp on a failed commit.
+Status CommitFile(MiniDfs* dfs, const std::string& path,
+                  std::string_view payload, const CommitOptions& opts = {});
+
+/// Appends `payload` to the committed content of `path` (creating it when
+/// absent) and re-commits the whole file under a fresh footer. An existing
+/// file without a footer is adopted leniently: its raw bytes become the
+/// prior payload.
+Status CommitAppend(MiniDfs* dfs, const std::string& path,
+                    std::string_view payload, const CommitOptions& opts = {});
+
+/// Reads `path` and strips/verifies the footer. A valid footer yields the
+/// verified payload; an absent footer yields the raw bytes (legacy files);
+/// a corrupt footer retries the read (in-flight bit flips are transient)
+/// and fails Corruption once attempts are exhausted.
+Result<std::string> ReadCommitted(MiniDfs* dfs, const std::string& path,
+                                  const CommitOptions& opts = {});
+
+/// What a recovery sweep found and did.
+struct RecoveryReport {
+  uint64_t temp_files_removed = 0;
+  uint64_t files_quarantined = 0;
+  std::vector<std::string> quarantined_paths;
+
+  bool clean() const {
+    return temp_files_removed == 0 && files_quarantined == 0;
+  }
+  void Merge(const RecoveryReport& other);
+};
+
+/// Startup/restart sweep over every file under `dir_prefix`:
+///  - orphaned `.tmp` files (a writer died between write and rename) are
+///    deleted — their rename never happened, so they are invisible to the
+///    commit history by definition;
+///  - files whose footer is present but corrupt are renamed under
+///    /.quarantine for inspection instead of aborting startup;
+///  - footer-less files are left alone (legacy raw artifacts).
+/// Logs a one-line summary when anything was repaired.
+RecoveryReport SweepDir(MiniDfs* dfs, const std::string& dir_prefix);
+
+}  // namespace cfnet::dfs
+
+#endif  // CFNET_DFS_COMMIT_H_

@@ -7,6 +7,21 @@
 #include "util/string_util.h"
 
 namespace cfnet::dfs {
+namespace {
+
+double UnitFromHash(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Prefix length a torn/silently-lost write leaves behind: always strictly
+/// shorter than the payload (the fault must lose at least one byte).
+size_t TornPrefix(double fraction, size_t size) {
+  if (size == 0) return 0;
+  size_t keep = static_cast<size_t>(fraction * static_cast<double>(size));
+  return keep >= size ? size - 1 : keep;
+}
+
+}  // namespace
 
 MiniDfs::MiniDfs(const DfsConfig& config) : config_(config), rng_(config.seed) {
   config_.num_datanodes = std::max(1, config_.num_datanodes);
@@ -88,10 +103,69 @@ Status MiniDfs::WriteLocked(const std::string& path, std::string_view data) {
   return Status::OK();
 }
 
+Status MiniDfs::WriteWithFaultsLocked(const std::string& path,
+                                      std::string_view data) {
+  if (killed_) return Status::Unavailable("storage layer killed");
+  const uint64_t op = ++mutation_ops_;
+  if (kill_at_op_ != 0 && op >= kill_at_op_) {
+    killed_ = true;
+    // The dying writer leaves an arbitrary prefix on disk — the worst case
+    // a real crash mid-write produces. The caller never learns how much.
+    size_t keep = TornPrefix(UnitFromHash(Mix64(kill_seed_ ^ op)), data.size());
+    WriteLocked(path, data.substr(0, keep)).ok();
+    return Status::Unavailable("storage layer killed mid-write: " + path);
+  }
+  if (injector_ != nullptr) {
+    WriteFaultDecision d = injector_->EvaluateWrite(op);
+    if (d.enospc) {
+      ++faults_injected_;
+      return Status::ResourceExhausted("injected ENOSPC writing " + path);
+    }
+    if (d.torn) {
+      ++faults_injected_;
+      size_t keep = TornPrefix(d.fraction, data.size());
+      Status persisted = WriteLocked(path, data.substr(0, keep));
+      if (!persisted.ok()) return persisted;
+      return Status::IOError("injected torn write on " + path);
+    }
+    if (d.silent_loss) {
+      // The lie at the heart of lost fsyncs: a prefix persists, OK returns.
+      ++faults_injected_;
+      size_t keep = TornPrefix(d.fraction, data.size());
+      return WriteLocked(path, data.substr(0, keep)).ok()
+                 ? Status::OK()
+                 : Status::Unavailable("no live datanodes");
+    }
+    if (d.bit_flip && !data.empty()) {
+      // Corruption above the replication layer: the flipped byte is what
+      // gets checksummed and replicated, so block CRCs read back "clean".
+      ++faults_injected_;
+      std::string flipped(data);
+      size_t at = TornPrefix(d.fraction, flipped.size());
+      flipped[at] = static_cast<char>(flipped[at] ^ 0x20);
+      return WriteLocked(path, flipped);
+    }
+  }
+  return WriteLocked(path, data);
+}
+
+Status MiniDfs::AdmitMutationLocked(const char* what) {
+  if (killed_) return Status::Unavailable("storage layer killed");
+  const uint64_t op = ++mutation_ops_;
+  if (kill_at_op_ != 0 && op >= kill_at_op_) {
+    killed_ = true;
+    // Metadata ops are atomic: the kill prevents them entirely rather than
+    // leaving a half-applied state.
+    return Status::Unavailable(std::string("storage layer killed before ") +
+                               what);
+  }
+  return Status::OK();
+}
+
 Status MiniDfs::WriteFile(const std::string& path, std::string_view data) {
   CFNET_RETURN_IF_ERROR(ValidatePath(path));
   std::lock_guard<std::mutex> lock(mu_);
-  return WriteLocked(path, data);
+  return WriteWithFaultsLocked(path, data);
 }
 
 Status MiniDfs::Append(const std::string& path, std::string_view data) {
@@ -99,7 +173,7 @@ Status MiniDfs::Append(const std::string& path, std::string_view data) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = namespace_.find(path);
   if (it == namespace_.end()) {
-    return WriteLocked(path, data);
+    return WriteWithFaultsLocked(path, data);
   }
   // Read existing content, then rewrite. (A real DFS appends to the last
   // block; for the snapshot workload correctness matters more than the
@@ -112,7 +186,7 @@ Status MiniDfs::Append(const std::string& path, std::string_view data) {
     content += *block;
   }
   content.append(data.data(), data.size());
-  return WriteLocked(path, content);
+  return WriteWithFaultsLocked(path, content);
 }
 
 Result<std::string> MiniDfs::ReadBlockLocked(const BlockInfo& info) const {
@@ -138,6 +212,8 @@ Result<std::string> MiniDfs::ReadBlockLocked(const BlockInfo& info) const {
 Result<std::string> MiniDfs::ReadFile(const std::string& path) const {
   CFNET_RETURN_IF_ERROR(ValidatePath(path));
   std::lock_guard<std::mutex> lock(mu_);
+  if (killed_) return Status::Unavailable("storage layer killed");
+  const uint64_t op = ++read_ops_;
   auto it = namespace_.find(path);
   if (it == namespace_.end()) {
     return Status::NotFound("no such file: " + path);
@@ -149,18 +225,54 @@ Result<std::string> MiniDfs::ReadFile(const std::string& path) const {
     if (!block.ok()) return block.status();
     out += *block;
   }
+  if (injector_ != nullptr && !out.empty()) {
+    ReadFaultDecision d = injector_->EvaluateRead(op);
+    if (d.short_read) {
+      ++faults_injected_;
+      out.resize(TornPrefix(d.fraction, out.size()));
+    } else if (d.bit_flip) {
+      // Transient in-flight flip: the stored replicas stay intact, only
+      // this returned copy is damaged.
+      ++faults_injected_;
+      size_t at = TornPrefix(d.fraction, out.size());
+      out[at] = static_cast<char>(out[at] ^ 0x40);
+    }
+  }
   return out;
 }
 
 Status MiniDfs::Delete(const std::string& path) {
   CFNET_RETURN_IF_ERROR(ValidatePath(path));
   std::lock_guard<std::mutex> lock(mu_);
+  CFNET_RETURN_IF_ERROR(AdmitMutationLocked("delete"));
   auto it = namespace_.find(path);
   if (it == namespace_.end()) {
     return Status::NotFound("no such file: " + path);
   }
   FreeBlocksLocked(it->second);
   namespace_.erase(it);
+  return Status::OK();
+}
+
+Status MiniDfs::Rename(const std::string& from, const std::string& to) {
+  CFNET_RETURN_IF_ERROR(ValidatePath(from));
+  CFNET_RETURN_IF_ERROR(ValidatePath(to));
+  std::lock_guard<std::mutex> lock(mu_);
+  CFNET_RETURN_IF_ERROR(AdmitMutationLocked("rename"));
+  auto src = namespace_.find(from);
+  if (src == namespace_.end()) {
+    return Status::NotFound("no such file: " + from);
+  }
+  if (from == to) return Status::OK();
+  auto dst = namespace_.find(to);
+  if (dst != namespace_.end()) {
+    FreeBlocksLocked(dst->second);
+    namespace_.erase(dst);
+  }
+  // Blocks move with the entry; only the namespace key changes, which is
+  // what makes rename the atomic commit point — no byte is ever rewritten.
+  namespace_[to] = std::move(src->second);
+  namespace_.erase(from);
   return Status::OK();
 }
 
@@ -199,6 +311,33 @@ Result<std::vector<BlockInfo>> MiniDfs::GetBlockLocations(
     return Status::NotFound("no such file: " + path);
   }
   return it->second.blocks;
+}
+
+void MiniDfs::InstallFaultPlan(IoFaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan.empty()) {
+    injector_.reset();
+  } else {
+    injector_ = std::make_unique<IoFaultInjector>(std::move(plan));
+  }
+}
+
+void MiniDfs::ArmKill(uint64_t kill_at_op, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kill_at_op_ = kill_at_op;
+  kill_seed_ = seed;
+  killed_ = false;
+}
+
+void MiniDfs::DisarmKill() {
+  std::lock_guard<std::mutex> lock(mu_);
+  kill_at_op_ = 0;
+  killed_ = false;
+}
+
+bool MiniDfs::killed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return killed_;
 }
 
 Status MiniDfs::KillDataNode(int node) {
@@ -354,6 +493,9 @@ DfsStats MiniDfs::GetStats() const {
     stats.physical_bytes += dn.used_bytes;
   }
   stats.corruption_events_detected = corruption_events_;
+  stats.mutation_ops = mutation_ops_;
+  stats.read_ops = read_ops_;
+  stats.storage_faults_injected = faults_injected_;
   return stats;
 }
 

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dfs/fault_fs.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -42,6 +43,12 @@ struct DfsStats {
   uint64_t under_replicated_blocks = 0;
   uint64_t corruption_events_detected = 0;
   int live_datanodes = 0;
+  /// Mutation ops (WriteFile/Append/Rename/Delete) and whole-file reads
+  /// issued so far — the op serials IoFaultWindows and the kill switch are
+  /// scripted against.
+  uint64_t mutation_ops = 0;
+  uint64_t read_ops = 0;
+  uint64_t storage_faults_injected = 0;
 };
 
 /// Single-process reproduction of the HDFS storage substrate the paper's
@@ -73,6 +80,12 @@ class MiniDfs {
   /// Removes a file and frees its blocks.
   Status Delete(const std::string& path);
 
+  /// Atomically moves `from` to `to`, replacing any existing `to` — the
+  /// namespace-level commit point of the durable-write protocol (HDFS
+  /// rename semantics: it either fully happens or not at all; no fault can
+  /// leave a half-renamed file).
+  Status Rename(const std::string& from, const std::string& to);
+
   bool Exists(const std::string& path) const;
 
   /// Length of a file in bytes.
@@ -85,6 +98,22 @@ class MiniDfs {
   Result<std::vector<BlockInfo>> GetBlockLocations(const std::string& path) const;
 
   /// --- failure injection -------------------------------------------------
+
+  /// Installs a scripted storage-fault plan (see dfs/fault_fs.h): torn
+  /// writes, silent fsync loss, ENOSPC, short reads and bit flips keyed on
+  /// deterministic op serials. An empty plan clears the injector.
+  void InstallFaultPlan(IoFaultPlan plan);
+
+  /// Arms the kill switch: the mutation op with serial `kill_at_op`
+  /// persists only a seeded prefix of its bytes (renames/deletes fail
+  /// without applying), and every subsequent read or mutation fails
+  /// Unavailable — the storage-side equivalent of `kill -9` mid-write.
+  /// `DisarmKill` models the restart: the "disk" contents survive as the
+  /// dying process left them, and a fresh crawler incarnation recovers.
+  void ArmKill(uint64_t kill_at_op, uint64_t seed);
+  void DisarmKill();
+  bool killed() const;
+
   Status KillDataNode(int node);
   Status ReviveDataNode(int node);
   bool IsDataNodeAlive(int node) const;
@@ -122,6 +151,13 @@ class MiniDfs {
 
   // All private helpers assume mu_ is held.
   Status WriteLocked(const std::string& path, std::string_view data);
+  /// Fault-aware write entry point: consumes a mutation-op serial, applies
+  /// the kill switch and any scripted write fault, then delegates to
+  /// WriteLocked with whatever bytes "reached the disk".
+  Status WriteWithFaultsLocked(const std::string& path, std::string_view data);
+  /// Consumes a mutation-op serial for a metadata op (rename/delete);
+  /// returns non-OK when the kill switch fires or has fired.
+  Status AdmitMutationLocked(const char* what);
   Status ValidatePath(const std::string& path) const;
   std::vector<int> PickReplicaNodes(int count);
   void FreeBlocksLocked(const FileEntry& entry);
@@ -134,6 +170,16 @@ class MiniDfs {
   BlockId next_block_id_ = 1;
   mutable uint64_t corruption_events_ = 0;
   Rng rng_;
+
+  // Storage fault injection (fault_fs.h). The injector is mutable because
+  // reads draw fault decisions; its internals are thread-safe.
+  mutable std::unique_ptr<IoFaultInjector> injector_;
+  mutable uint64_t mutation_ops_ = 0;
+  mutable uint64_t read_ops_ = 0;
+  mutable uint64_t faults_injected_ = 0;
+  uint64_t kill_at_op_ = 0;  // 0 = disarmed
+  uint64_t kill_seed_ = 0;
+  bool killed_ = false;
 };
 
 }  // namespace cfnet::dfs

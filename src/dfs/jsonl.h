@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "dfs/commit.h"
 #include "dfs/dfs.h"
 #include "json/json.h"
 #include "util/result.h"
@@ -15,13 +16,38 @@
 
 namespace cfnet::dfs {
 
+/// What a (set of) JSON-lines scans saw and salvaged. Accumulates across
+/// calls when the same report is passed to several scans, so the platform
+/// can surface one aggregate per load.
+struct ScanReport {
+  uint64_t files_scanned = 0;
+  /// Files whose commit footer verified — end-to-end integrity guaranteed.
+  uint64_t footer_verified_files = 0;
+  /// Files without a footer (legacy raw artifacts): decoded as stored.
+  uint64_t raw_files = 0;
+  uint64_t bytes_scanned = 0;
+  /// Salvage-mode lines dropped because they failed to decode (torn tails,
+  /// embedded garbage). Zero in strict mode by construction.
+  uint64_t records_dropped = 0;
+  /// Bad-footer files encountered (salvage mode decodes them leniently and
+  /// records them here; recovery sweeps move them under /.quarantine).
+  std::vector<std::string> quarantined_paths;
+
+  void Merge(const ScanReport& other);
+};
+
 /// Buffered writer of JSON-lines snapshot files into MiniDFS — the format
 /// the crawler stores records in (one JSON document per line, as the paper's
 /// platform stores crawled documents in HDFS).
 class JsonLinesWriter {
  public:
-  /// Buffers up to `flush_bytes` before appending to `path`.
-  JsonLinesWriter(MiniDfs* dfs, std::string path, size_t flush_bytes = 1 << 20);
+  /// Buffers up to `flush_bytes` before appending to `path`. Durable mode
+  /// (the default) flushes through the atomic commit protocol, so the file
+  /// always carries a verified CRC footer and a crash mid-flush leaves the
+  /// previous committed content intact; `durable = false` keeps the raw
+  /// Append path for benchmarks and scratch output.
+  JsonLinesWriter(MiniDfs* dfs, std::string path, size_t flush_bytes = 1 << 20,
+                  bool durable = true);
   ~JsonLinesWriter();
 
   JsonLinesWriter(const JsonLinesWriter&) = delete;
@@ -41,12 +67,15 @@ class JsonLinesWriter {
   MiniDfs* dfs_;
   std::string path_;
   size_t flush_bytes_;
+  bool durable_;
   std::string buffer_;
   size_t records_written_ = 0;
 };
 
-/// Reads every record of a JSON-lines file. Malformed lines produce an error
-/// (the crawler only writes well-formed lines; corruption means DFS trouble).
+/// Reads every record of a JSON-lines file. A valid commit footer is
+/// verified and stripped; a corrupt one fails Corruption; files without a
+/// footer read as stored. Malformed lines produce an error (the crawler
+/// only writes well-formed lines; corruption means DFS trouble).
 Result<std::vector<json::Json>> ReadJsonLines(const MiniDfs& dfs,
                                               const std::string& path);
 
@@ -74,6 +103,15 @@ struct ScanOptions {
   size_t target_partitions = 0;
   /// Ranges are not split below this many bytes.
   size_t min_range_bytes = 64 * 1024;
+  /// Salvage mode: instead of failing the scan, a file with a corrupt
+  /// commit footer or a line that fails to decode is skipped and counted
+  /// in the report. Footer-*verified* files always decode strictly — their
+  /// bytes are proven intact, so a decode failure there is a real bug, not
+  /// storage damage. Strict mode (the default) preserves the historical
+  /// fail-fast behaviour.
+  bool salvage = false;
+  /// When set, scan accounting accumulates here (see ScanReport).
+  ScanReport* report = nullptr;
 };
 
 namespace internal_scan {
@@ -88,10 +126,21 @@ struct LineRange {
   int64_t first_line = 1;  // 1-based line number at `begin`
 };
 
+/// Loaded shard payloads plus per-file decode policy.
+struct ShardLoad {
+  std::vector<std::string> contents;  // footer-stripped payloads
+  /// Per-file: true when decode failures drop the line (salvaged raw or
+  /// bad-footer files) instead of failing the scan.
+  std::vector<char> lenient;
+};
+
 /// Reads every shard's contents (whole files; MiniDFS is an in-memory
-/// block store, so this is the only read granularity it offers).
-Result<std::vector<std::string>> LoadShardContents(
-    const MiniDfs& dfs, const std::vector<std::string>& paths);
+/// block store, so this is the only read granularity it offers), verifying
+/// and stripping commit footers. Strict mode fails on a corrupt footer;
+/// salvage mode marks the file lenient and records it in `report`.
+Result<ShardLoad> LoadShardContents(const MiniDfs& dfs,
+                                    const std::vector<std::string>& paths,
+                                    bool salvage, ScanReport* report);
 
 /// Splits shard contents into roughly `target_ranges` line-aligned ranges,
 /// none smaller than `min_range_bytes`, ordered by (file, begin).
@@ -116,8 +165,13 @@ template <typename T, typename DecodeFn>
 Result<std::vector<std::vector<T>>> ScanJsonLines(
     const MiniDfs& dfs, const std::vector<std::string>& paths,
     DecodeFn&& decode, const ScanOptions& options = ScanOptions()) {
-  CFNET_ASSIGN_OR_RETURN(std::vector<std::string> contents,
-                         internal_scan::LoadShardContents(dfs, paths));
+  ScanReport scratch_report;
+  ScanReport* report =
+      options.report != nullptr ? options.report : &scratch_report;
+  CFNET_ASSIGN_OR_RETURN(
+      internal_scan::ShardLoad load,
+      internal_scan::LoadShardContents(dfs, paths, options.salvage, report));
+  const std::vector<std::string>& contents = load.contents;
   size_t target = options.target_partitions;
   if (target == 0) {
     target = options.pool != nullptr ? options.pool->num_threads() * 4 : 1;
@@ -126,10 +180,12 @@ Result<std::vector<std::vector<T>>> ScanJsonLines(
       contents, std::max<size_t>(1, target), options.min_range_bytes);
   std::vector<std::vector<T>> parts(ranges.size());
   std::vector<Status> errors(ranges.size(), Status::OK());
+  std::vector<uint64_t> dropped(ranges.size(), 0);
   auto run_range = [&](size_t i) {
     const internal_scan::LineRange& range = ranges[i];
     if (range.begin >= range.end) return;  // degenerate empty-input range
     const std::string& content = contents[range.file];
+    const bool lenient = load.lenient[range.file] != 0;
     std::vector<T>& out = parts[i];
     size_t start = range.begin;
     int64_t line_no = range.first_line;
@@ -139,13 +195,18 @@ Result<std::vector<std::vector<T>>> ScanJsonLines(
       std::string_view line(content.data() + start, stop - start);
       if (!StrTrim(line).empty()) {
         auto decoded = decode(line);
-        if (!decoded.ok()) {
+        if (decoded.ok()) {
+          out.push_back(std::move(decoded).value());
+        } else if (lenient) {
+          // Salvaged file: the damage is expected — drop the line, keep
+          // everything that still decodes.
+          ++dropped[i];
+        } else {
           errors[i] = Status::Corruption(paths[range.file] + ":" +
                                          std::to_string(line_no) + ": " +
                                          decoded.status().message());
           return;
         }
-        out.push_back(std::move(decoded).value());
       }
       ++line_no;
       start = stop + 1;
@@ -161,6 +222,7 @@ Result<std::vector<std::vector<T>>> ScanJsonLines(
   for (size_t i = 0; i < ranges.size(); ++i) {
     if (!errors[i].ok()) return errors[i];
   }
+  for (uint64_t d : dropped) report->records_dropped += d;
   return parts;
 }
 

@@ -1,0 +1,42 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cfnet {
+
+ExponentialBackoff::ExponentialBackoff(const BackoffPolicy& policy,
+                                       uint64_t seed)
+    : policy_(policy),
+      seed_(seed),
+      current_micros_(static_cast<double>(std::max<int64_t>(0, policy.base_micros))) {}
+
+void ExponentialBackoff::Reset() {
+  attempt_ = 0;
+  current_micros_ =
+      static_cast<double>(std::max<int64_t>(0, policy_.base_micros));
+}
+
+int64_t ExponentialBackoff::NextDelayMicros() {
+  double delay = current_micros_;
+  if (policy_.max_micros > 0) {
+    delay = std::min(delay, static_cast<double>(policy_.max_micros));
+  }
+  if (policy_.jitter > 0) {
+    // Counter-based draw: depends only on (seed, attempt), so schedules
+    // replay regardless of thread interleaving. Salt avoids Mix64(0) == 0.
+    uint64_t word =
+        Mix64(seed_ ^ (0x9e3779b97f4a7c15ull +
+                       static_cast<uint64_t>(attempt_) * 0xbf58476d1ce4e5b9ull));
+    double unit = static_cast<double>(word >> 11) * 0x1.0p-53;  // [0, 1)
+    double jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+    delay *= 1.0 - jitter + 2.0 * jitter * unit;
+  }
+  ++attempt_;
+  current_micros_ *= policy_.multiplier <= 0 ? 1.0 : policy_.multiplier;
+  return static_cast<int64_t>(std::llround(std::max(0.0, delay)));
+}
+
+}  // namespace cfnet

@@ -1,0 +1,48 @@
+#ifndef CFNET_UTIL_BACKOFF_H_
+#define CFNET_UTIL_BACKOFF_H_
+
+#include <cstdint>
+
+namespace cfnet {
+
+/// Exponential-backoff tuning shared by every retry loop in cfnet (network
+/// fetches, storage commit retries). Delays are expressed in microseconds of
+/// whatever clock the caller advances — virtual worker time for the crawler,
+/// a commit clock for storage — so the policy itself never sleeps.
+struct BackoffPolicy {
+  int64_t base_micros = 500000;  // first-retry delay
+  double multiplier = 2.0;       // growth per attempt
+  int64_t max_micros = 0;        // cap per delay; 0 = uncapped
+  /// Jitter fraction in [0, 1]: each delay is scaled by a deterministic
+  /// seeded draw in [1 - jitter, 1 + jitter]. 0 keeps delays exact
+  /// (base * multiplier^attempt), which bit-reproducible tests rely on.
+  double jitter = 0.0;
+};
+
+/// Deterministic jittered exponential backoff. Two instances with the same
+/// policy and seed produce identical delay sequences: jitter draws come from
+/// `cfnet::Mix64` keyed on (seed, attempt), never from wall-clock entropy,
+/// so retry schedules replay exactly under test.
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(const BackoffPolicy& policy, uint64_t seed = 0);
+
+  /// Delay before the next retry; advances the attempt counter.
+  int64_t NextDelayMicros();
+
+  /// Back to the first attempt (e.g. after a success in a long-lived loop).
+  void Reset();
+
+  int attempts() const { return attempt_; }
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t seed_;
+  int attempt_ = 0;
+  double current_micros_ = 0;
+};
+
+}  // namespace cfnet
+
+#endif  // CFNET_UTIL_BACKOFF_H_

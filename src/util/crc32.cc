@@ -1,30 +1,58 @@
 #include "util/crc32.h"
 
+#include <cstring>
+
 namespace cfnet {
 namespace {
 
-const uint32_t* Crc32Table() {
-  static uint32_t* table = []() {
-    auto* t = new uint32_t[256];
+/// Slice-by-8 tables: table[0] is the classic byte-at-a-time table; entry
+/// table[k][b] is the CRC of byte b followed by k zero bytes. Processing
+/// eight bytes per step keeps footer verification cheap relative to the
+/// JSON-decode work it rides alongside on the snapshot scan path.
+const uint32_t (*Crc32Tables())[256] {
+  static auto* tables = []() {
+    auto* t = new uint32_t[8][256];
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        c = t[0][c & 0xff] ^ (c >> 8);
+        t[k][i] = c;
+      }
     }
     return t;
   }();
-  return table;
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32Update(uint32_t crc, std::string_view data) {
-  const uint32_t* table = Crc32Table();
+  const uint32_t(*t)[256] = Crc32Tables();
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
   crc = ~crc;
-  for (unsigned char ch : data) {
-    crc = table[(crc ^ ch) & 0xff] ^ (crc >> 8);
+  while (n >= 8) {
+    // Little-endian word folds; memcpy keeps the loads alignment-safe.
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xff] ^ t[6][(lo >> 8) & 0xff] ^ t[5][(lo >> 16) & 0xff] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^
+          t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
   }
   return ~crc;
 }

@@ -1,0 +1,488 @@
+// Chaos-hardened durable storage tests: the scripted storage-fault injector
+// (torn writes, silent fsync loss, ENOSPC, bit flips, short reads), the
+// atomic write-temp/verify/rename commit protocol with its recovery sweeps,
+// and the acceptance scenario — a randomized kill-anywhere sweep where the
+// storage layer dies at a seeded mutation op mid-crawl and a fresh
+// incarnation must recover to byte-identical snapshots with exactly-once
+// records, across many seeds (CFNET_CHAOS_SEEDS overrides the count).
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crawler/crawler.h"
+#include "dfs/commit.h"
+#include "dfs/dfs.h"
+#include "dfs/fault_fs.h"
+#include "dfs/jsonl.h"
+#include "net/social_web.h"
+#include "synth/world.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace cfnet::dfs {
+namespace {
+
+IoFaultWindow Always() { return IoFaultWindow{1, 0, 1.0}; }
+IoFaultWindow OpOnly(uint64_t op) { return IoFaultWindow{op, op + 1, 1.0}; }
+
+TEST(IoFaultInjectorTest, DecisionsAreDeterministicPerSeed) {
+  IoFaultPlan plan;
+  plan.torn_writes = {{1, 0, 0.3}};
+  plan.enospc = {{1, 0, 0.1}};
+  plan.short_reads = {{1, 0, 0.25}};
+  plan.seed = 77;
+
+  IoFaultInjector a(plan);
+  IoFaultInjector b(plan);
+  int faults_seen = 0;
+  for (uint64_t op = 1; op <= 300; ++op) {
+    WriteFaultDecision wa = a.EvaluateWrite(op);
+    WriteFaultDecision wb = b.EvaluateWrite(op);
+    EXPECT_EQ(wa.enospc, wb.enospc) << "op " << op;
+    EXPECT_EQ(wa.torn, wb.torn) << "op " << op;
+    EXPECT_EQ(wa.fraction, wb.fraction) << "op " << op;
+    ReadFaultDecision ra = a.EvaluateRead(op);
+    ReadFaultDecision rb = b.EvaluateRead(op);
+    EXPECT_EQ(ra.short_read, rb.short_read) << "op " << op;
+    EXPECT_EQ(ra.fraction, rb.fraction) << "op " << op;
+    faults_seen += (wa.enospc || wa.torn) ? 1 : 0;
+  }
+  // Fractional rates actually fire (roughly 40% of 300 write ops).
+  EXPECT_GT(faults_seen, 50);
+  EXPECT_LT(faults_seen, 250);
+}
+
+TEST(IoFaultInjectorTest, WindowsBoundWhenFaultsFire) {
+  IoFaultPlan plan;
+  plan.enospc = {{10, 20, 1.0}};  // ops 10..19 only
+  IoFaultInjector inj(plan);
+  for (uint64_t op = 1; op < 30; ++op) {
+    EXPECT_EQ(inj.EvaluateWrite(op).enospc, op >= 10 && op < 20) << op;
+  }
+}
+
+TEST(MiniDfsFaultTest, EnospcFailsWithoutPersisting) {
+  MiniDfs dfs;
+  IoFaultPlan plan;
+  plan.enospc = {OpOnly(1)};
+  dfs.InstallFaultPlan(plan);
+  Status s = dfs.WriteFile("/f", "hello");
+  EXPECT_TRUE(s.IsResourceExhausted()) << s;
+  EXPECT_FALSE(dfs.Exists("/f"));
+  // Next op is outside the window.
+  ASSERT_TRUE(dfs.WriteFile("/f", "hello").ok());
+  EXPECT_EQ(*dfs.ReadFile("/f"), "hello");
+  EXPECT_EQ(dfs.GetStats().storage_faults_injected, 1u);
+}
+
+TEST(MiniDfsFaultTest, TornWritePersistsStrictPrefix) {
+  MiniDfs dfs;
+  IoFaultPlan plan;
+  plan.torn_writes = {OpOnly(1)};
+  dfs.InstallFaultPlan(plan);
+  const std::string data(1000, 'x');
+  Status s = dfs.WriteFile("/f", data);
+  EXPECT_EQ(s.code(), StatusCode::kIOError) << s;
+  ASSERT_TRUE(dfs.Exists("/f"));
+  EXPECT_LT(*dfs.FileSize("/f"), data.size());  // at least one byte lost
+}
+
+TEST(MiniDfsFaultTest, SilentLossReportsOkButDropsBytes) {
+  MiniDfs dfs;
+  IoFaultPlan plan;
+  plan.silent_loss = {OpOnly(1)};
+  dfs.InstallFaultPlan(plan);
+  const std::string data(1000, 'x');
+  // The write lies: OK, yet the file is short. Only read-back verification
+  // (the commit protocol's job) can catch this.
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  EXPECT_LT(*dfs.FileSize("/f"), data.size());
+}
+
+TEST(MiniDfsFaultTest, WriteBitFlipEvadesBlockChecksums) {
+  MiniDfs dfs;
+  IoFaultPlan plan;
+  plan.write_bit_flips = {OpOnly(1)};
+  dfs.InstallFaultPlan(plan);
+  const std::string data(256, 'a');
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  auto back = dfs.ReadFile("/f");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), data.size());
+  EXPECT_NE(*back, data);  // one byte flipped...
+  // ...and the replication layer cannot see it: block checksums were
+  // computed from the already-flipped bytes, so every replica verifies.
+  EXPECT_EQ(dfs.ScrubBlocks(), 0u);
+}
+
+TEST(MiniDfsFaultTest, ReadFaultsAreTransient) {
+  MiniDfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("/f", std::string(500, 'z')).ok());
+  IoFaultPlan plan;
+  plan.short_reads = {OpOnly(1)};
+  plan.read_bit_flips = {OpOnly(2)};
+  dfs.InstallFaultPlan(plan);
+  auto first = dfs.ReadFile("/f");   // read op 1: short
+  ASSERT_TRUE(first.ok());
+  EXPECT_LT(first->size(), 500u);
+  auto second = dfs.ReadFile("/f");  // read op 2: flipped in flight
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->size(), 500u);
+  EXPECT_NE(*second, std::string(500, 'z'));
+  auto third = dfs.ReadFile("/f");   // read op 3: clean again
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*third, std::string(500, 'z'));
+}
+
+TEST(MiniDfsKillTest, KillMidWriteHaltsEverythingUntilDisarm) {
+  MiniDfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("/stable", "committed long ago").ok());  // op 1
+  dfs.ArmKill(/*kill_at_op=*/2, /*seed=*/123);
+  const std::string doomed(4096, 'd');
+  Status died = dfs.WriteFile("/doomed", doomed);  // op 2: the kill
+  EXPECT_TRUE(died.IsUnavailable()) << died;
+  EXPECT_TRUE(dfs.killed());
+  // Everything after the kill fails, like talking to a dead process.
+  EXPECT_TRUE(dfs.ReadFile("/stable").status().IsUnavailable());
+  EXPECT_TRUE(dfs.WriteFile("/other", "x").IsUnavailable());
+  EXPECT_TRUE(dfs.Delete("/stable").IsUnavailable());
+  EXPECT_TRUE(dfs.Rename("/stable", "/moved").IsUnavailable());
+
+  // Restart: the disk survives as the dying writer left it — /stable whole,
+  // /doomed an arbitrary strict prefix.
+  dfs.DisarmKill();
+  EXPECT_FALSE(dfs.killed());
+  EXPECT_EQ(*dfs.ReadFile("/stable"), "committed long ago");
+  if (dfs.Exists("/doomed")) {
+    EXPECT_LT(*dfs.FileSize("/doomed"), doomed.size());
+  }
+}
+
+TEST(MiniDfsRenameTest, RenameIsAnAtomicNamespaceMove) {
+  MiniDfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("/a", "alpha").ok());
+  ASSERT_TRUE(dfs.WriteFile("/b", "beta-old-content-to-replace").ok());
+
+  ASSERT_TRUE(dfs.Rename("/a", "/c").ok());
+  EXPECT_FALSE(dfs.Exists("/a"));
+  EXPECT_EQ(*dfs.ReadFile("/c"), "alpha");
+
+  // Replacing an existing target frees its blocks.
+  const uint64_t files_before = dfs.GetStats().num_files;
+  ASSERT_TRUE(dfs.Rename("/c", "/b").ok());
+  EXPECT_EQ(*dfs.ReadFile("/b"), "alpha");
+  EXPECT_EQ(dfs.GetStats().num_files, files_before - 1);
+
+  EXPECT_TRUE(dfs.Rename("/nope", "/x").IsNotFound());
+  ASSERT_TRUE(dfs.Rename("/b", "/b").ok());  // self-rename is a no-op
+  EXPECT_EQ(*dfs.ReadFile("/b"), "alpha");
+}
+
+TEST(CommitProtocolTest, CommitWritesVerifiedFooterAndLeavesNoTemp) {
+  MiniDfs dfs;
+  const std::string payload = "{\"id\":1}\n{\"id\":2}\n";
+  ASSERT_TRUE(CommitFile(&dfs, "/snap/part-0.jsonl", payload).ok());
+
+  auto raw = dfs.ReadFile("/snap/part-0.jsonl");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->size(), payload.size() + kCommitFooterSize);
+  uint64_t len = 0;
+  EXPECT_EQ(InspectFooter(*raw, &len), FooterState::kValid);
+  EXPECT_EQ(len, payload.size());
+
+  auto committed = ReadCommitted(&dfs, "/snap/part-0.jsonl");
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(*committed, payload);
+  EXPECT_EQ(dfs.List("/snap/").size(), 1u);  // no .tmp residue
+}
+
+TEST(CommitProtocolTest, CommitRetriesThroughScriptedFaults) {
+  MiniDfs dfs;
+  IoFaultPlan plan;
+  plan.enospc = {OpOnly(1)};
+  plan.torn_writes = {OpOnly(2)};
+  plan.silent_loss = {OpOnly(3)};  // only read-back verify can catch this one
+  dfs.InstallFaultPlan(plan);
+  int64_t clock = 0;
+  CommitOptions opts;
+  opts.clock_micros = &clock;
+  ASSERT_TRUE(CommitFile(&dfs, "/f", "precious payload", opts).ok());
+  EXPECT_EQ(*ReadCommitted(&dfs, "/f"), "precious payload");
+  EXPECT_EQ(dfs.GetStats().storage_faults_injected, 3u);
+  EXPECT_GT(clock, 0);  // retries charged backoff delays to the clock
+}
+
+TEST(CommitProtocolTest, FailedCommitPreservesOldContent) {
+  MiniDfs dfs;
+  ASSERT_TRUE(CommitFile(&dfs, "/f", "version 1").ok());
+  IoFaultPlan plan;
+  plan.torn_writes = {Always()};
+  dfs.InstallFaultPlan(plan);
+  EXPECT_FALSE(CommitFile(&dfs, "/f", "version 2").ok());
+  dfs.InstallFaultPlan(IoFaultPlan{});
+  // The old committed content is untouched and still verifies.
+  EXPECT_EQ(*ReadCommitted(&dfs, "/f"), "version 1");
+}
+
+TEST(CommitProtocolTest, CommitAppendAdoptsLegacyRawFiles) {
+  MiniDfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("/log", "old line\n").ok());  // raw, no footer
+  ASSERT_TRUE(CommitAppend(&dfs, "/log", "new line\n").ok());
+  EXPECT_EQ(*ReadCommitted(&dfs, "/log"), "old line\nnew line\n");
+  auto raw = dfs.ReadFile("/log");
+  EXPECT_EQ(InspectFooter(*raw, nullptr), FooterState::kValid);
+}
+
+TEST(SweepDirTest, RemovesOrphanedTempsAndQuarantinesBadFooters) {
+  MiniDfs dfs;
+  ASSERT_TRUE(CommitFile(&dfs, "/data/good.jsonl", "{\"id\":1}\n").ok());
+  ASSERT_TRUE(dfs.WriteFile("/data/orphan.jsonl.tmp", "half a commi").ok());
+  ASSERT_TRUE(dfs.WriteFile("/data/legacy.jsonl", "{\"id\":2}\n").ok());
+  // A committed file whose payload rotted after the fact: flip one byte.
+  ASSERT_TRUE(CommitFile(&dfs, "/data/rotten.jsonl", "{\"id\":3}\n").ok());
+  std::string rotten = *dfs.ReadFile("/data/rotten.jsonl");
+  rotten[2] ^= 0x10;
+  ASSERT_TRUE(dfs.WriteFile("/data/rotten.jsonl", rotten).ok());
+
+  RecoveryReport report = SweepDir(&dfs, "/data/");
+  EXPECT_EQ(report.temp_files_removed, 1u);
+  EXPECT_EQ(report.files_quarantined, 1u);
+  ASSERT_EQ(report.quarantined_paths.size(), 1u);
+  EXPECT_EQ(report.quarantined_paths[0], "/.quarantine/data/rotten.jsonl");
+
+  // Good + legacy survive in place; the rotten bytes are preserved under
+  // quarantine for inspection, not destroyed.
+  std::vector<std::string> left = dfs.List("/data/");
+  EXPECT_EQ(left, (std::vector<std::string>{"/data/good.jsonl",
+                                            "/data/legacy.jsonl"}));
+  EXPECT_TRUE(dfs.Exists("/.quarantine/data/rotten.jsonl"));
+  // Idempotent: a second sweep finds nothing.
+  EXPECT_TRUE(SweepDir(&dfs, "/data/").clean());
+}
+
+TEST(DurableWriterTest, FlushCommitsWithFooterAndSurvivesFaultBursts) {
+  MiniDfs dfs;
+  IoFaultPlan plan;  // every third write op hiccups
+  plan.torn_writes = {{2, 3, 1.0}, {5, 6, 1.0}};
+  plan.silent_loss = {{8, 9, 1.0}};
+  dfs.InstallFaultPlan(plan);
+  {
+    JsonLinesWriter writer(&dfs, "/snap/part-0.jsonl", /*flush_bytes=*/16);
+    for (int i = 0; i < 10; ++i) {
+      json::Json r = json::Json::MakeObject();
+      r.Set("id", i);
+      ASSERT_TRUE(writer.Write(r).ok());
+    }
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  auto records = ReadJsonLines(dfs, "/snap/part-0.jsonl");
+  ASSERT_TRUE(records.ok()) << records.status();
+  ASSERT_EQ(records->size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ((*records)[static_cast<size_t>(i)].Get("id").AsInt(), i);
+  }
+  auto raw = dfs.ReadFile("/snap/part-0.jsonl");
+  EXPECT_EQ(InspectFooter(*raw, nullptr), FooterState::kValid);
+}
+
+}  // namespace
+}  // namespace cfnet::dfs
+
+namespace cfnet::crawler {
+namespace {
+
+struct TestBed {
+  std::unique_ptr<synth::World> world;
+  std::unique_ptr<net::SocialWeb> web;
+  std::unique_ptr<dfs::MiniDfs> dfs;
+  std::unique_ptr<Crawler> crawler;
+};
+
+net::SocialWebConfig NoRandomErrors() {
+  net::ServiceConfig plain;
+  plain.transient_error_rate = 0;
+  net::ServiceConfig with_token = plain;
+  with_token.requires_token = true;
+  net::SocialWebConfig wc;
+  wc.angellist = plain;
+  wc.crunchbase = plain;
+  wc.facebook = with_token;
+  wc.twitter = with_token;
+  return wc;
+}
+
+TestBed MakeTestBed(CrawlConfig config) {
+  TestBed bed;
+  synth::WorldConfig wc;
+  wc.scale = 0.002;
+  wc.seed = 99;
+  bed.world = std::make_unique<synth::World>(synth::World::Generate(wc));
+  bed.web = std::make_unique<net::SocialWeb>(bed.world.get(), NoRandomErrors());
+  bed.dfs = std::make_unique<dfs::MiniDfs>();
+  config.num_workers = 4;
+  bed.crawler =
+      std::make_unique<Crawler>(bed.web.get(), bed.dfs.get(), config);
+  return bed;
+}
+
+/// Order-independent content digest of one snapshot directory: CRC-32 over
+/// the sorted set of record lines (footers stripped). Byte-identical record
+/// sets — regardless of which worker shard a record landed in — digest
+/// equal; any lost, duplicated or damaged record changes the digest.
+uint32_t DirDigest(const dfs::MiniDfs& d, const std::string& dir) {
+  std::vector<std::string> lines;
+  for (const std::string& path : d.List(dir)) {
+    auto content = d.ReadFile(path);
+    EXPECT_TRUE(content.ok()) << path;
+    if (!content.ok()) continue;
+    uint64_t payload_len = 0;
+    if (dfs::InspectFooter(*content, &payload_len) ==
+        dfs::FooterState::kValid) {
+      content->resize(payload_len);
+    }
+    size_t start = 0;
+    while (start < content->size()) {
+      size_t end = content->find('\n', start);
+      if (end == std::string::npos) end = content->size();
+      if (end > start) lines.push_back(content->substr(start, end - start));
+      start = end + 1;
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  uint32_t crc = 0;
+  for (const std::string& line : lines) {
+    crc = Crc32Update(crc, line);
+    crc = Crc32Update(crc, std::string_view("\n"));
+  }
+  return crc;
+}
+
+std::map<std::string, uint32_t> AllDigests(const dfs::MiniDfs& d,
+                                           const Crawler& c) {
+  return {{"startups", DirDigest(d, c.StartupSnapshotDir())},
+          {"users", DirDigest(d, c.UserSnapshotDir())},
+          {"crunchbase", DirDigest(d, c.CrunchBaseSnapshotDir())},
+          {"facebook", DirDigest(d, c.FacebookSnapshotDir())},
+          {"twitter", DirDigest(d, c.TwitterSnapshotDir())}};
+}
+
+/// Asserts no record id appears twice across a directory's shards.
+std::set<int64_t> UniqueSnapshotIds(const dfs::MiniDfs& d,
+                                    const std::string& dir) {
+  std::set<int64_t> ids;
+  for (const std::string& path : d.List(dir)) {
+    auto records = dfs::ReadJsonLines(d, path);
+    EXPECT_TRUE(records.ok()) << path;
+    if (!records.ok()) continue;
+    for (const json::Json& r : *records) {
+      int64_t id = r.Get("id").AsInt();
+      EXPECT_TRUE(ids.insert(id).second)
+          << "duplicate snapshot record id " << id << " in " << dir;
+    }
+  }
+  return ids;
+}
+
+int ChaosSeedCount() {
+  if (const char* env = std::getenv("CFNET_CHAOS_SEEDS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 100;
+}
+
+// The acceptance sweep: for each seed, arm the kill switch at a random
+// mutation op (spanning the whole crawl: first snapshot flush to final
+// checkpoint) with background storage faults scripted on top, let the
+// crawl die, then restart storage and resume with a fresh crawler. Every
+// seed must recover to exactly the uninterrupted run: same record sets
+// (exactly-once), byte-identical snapshot content, same analytics counters.
+TEST(CrashRecoverySweepTest, KillAnywhereRecoversExactlyOnce) {
+  CrawlConfig config;
+  config.checkpoint_every_rounds = 2;
+  config.checkpoint_chunk = 64;
+
+  // Uninterrupted baseline.
+  TestBed clean = MakeTestBed(config);
+  ASSERT_TRUE(clean.crawler->Run().ok());
+  const CrawlReport& want = clean.crawler->report();
+  const uint64_t total_ops = clean.dfs->GetStats().mutation_ops;
+  ASSERT_GT(total_ops, 10u);
+  const std::map<std::string, uint32_t> want_digests =
+      AllDigests(*clean.dfs, *clean.crawler);
+  const std::set<int64_t> want_startups =
+      UniqueSnapshotIds(*clean.dfs, clean.crawler->StartupSnapshotDir());
+  const std::set<int64_t> want_users =
+      UniqueSnapshotIds(*clean.dfs, clean.crawler->UserSnapshotDir());
+
+  const int seeds = ChaosSeedCount();
+  int64_t total_temps_removed = 0;
+  int64_t resumed_from_checkpoint = 0;
+  int64_t restarted_from_scratch = 0;
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    TestBed bed = MakeTestBed(config);
+
+    // Background faults the commit protocol must ride out, plus the kill.
+    dfs::IoFaultPlan plan;
+    plan.seed = 1000 + static_cast<uint64_t>(seed);
+    plan.torn_writes = {{1, 0, 0.02}};
+    plan.silent_loss = {{1, 0, 0.02}};
+    plan.enospc = {{1, 0, 0.02}};
+    plan.write_bit_flips = {{1, 0, 0.01}};
+    bed.dfs->InstallFaultPlan(plan);
+    const uint64_t kill_at =
+        1 + Mix64(0xC0FFEEull ^ static_cast<uint64_t>(seed)) % total_ops;
+    bed.dfs->ArmKill(kill_at, /*seed=*/static_cast<uint64_t>(seed) * 7919 + 1);
+
+    Status died = bed.crawler->Run();
+    ASSERT_FALSE(died.ok()) << "kill at op " << kill_at << " never surfaced";
+    // Usually the kill switch is what felled the run; occasionally the
+    // background fault rates exhaust a commit's retries first. Both are
+    // crashes the next incarnation must recover from identically.
+    bed.crawler.reset();
+
+    // "Restart": storage comes back with the disk exactly as the dying
+    // process left it; no scripted faults in the recovery run.
+    bed.dfs->DisarmKill();
+    bed.dfs->InstallFaultPlan(dfs::IoFaultPlan{});
+    bed.crawler =
+        std::make_unique<Crawler>(bed.web.get(), bed.dfs.get(), config);
+    Status recovered = bed.crawler->Resume();
+    ASSERT_TRUE(recovered.ok()) << recovered;
+
+    const CrawlReport& got = bed.crawler->report();
+    EXPECT_EQ(got.companies_crawled, want.companies_crawled);
+    EXPECT_EQ(got.users_crawled, want.users_crawled);
+    EXPECT_EQ(got.crunchbase_profiles, want.crunchbase_profiles);
+    EXPECT_EQ(got.facebook_profiles, want.facebook_profiles);
+    EXPECT_EQ(got.twitter_profiles, want.twitter_profiles);
+    total_temps_removed += got.storage_temps_removed;
+    resumed_from_checkpoint += got.checkpoint_restores > 0 ? 1 : 0;
+    restarted_from_scratch += got.checkpoint_restores > 0 ? 0 : 1;
+
+    // Exactly-once: same id sets, and byte-identical snapshot content.
+    EXPECT_EQ(UniqueSnapshotIds(*bed.dfs, bed.crawler->StartupSnapshotDir()),
+              want_startups);
+    EXPECT_EQ(UniqueSnapshotIds(*bed.dfs, bed.crawler->UserSnapshotDir()),
+              want_users);
+    EXPECT_EQ(AllDigests(*bed.dfs, *bed.crawler), want_digests);
+  }
+  // The sweep must actually exercise both recovery paths: kills landing
+  // before the first checkpoint restart from scratch, later ones resume.
+  if (seeds >= 20) {
+    EXPECT_GT(resumed_from_checkpoint, 0);
+    EXPECT_GT(restarted_from_scratch, 0);
+    // And kills tear commits often enough that the sweep GC is exercised.
+    EXPECT_GT(total_temps_removed, 0);
+  }
+}
+
+}  // namespace
+}  // namespace cfnet::crawler
