@@ -21,6 +21,7 @@
 #include "dfs/jsonl.h"
 #include "json/json.h"
 #include "json/reader.h"
+#include "util/crc32.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -196,13 +197,37 @@ void RunDurabilityBench(const cfnet::FlagParser& flags) {
       raw_write_ms > 0
           ? (commit_write_ms - raw_write_ms) / raw_write_ms * 100.0
           : 0.0;
+  Section("CRC32 kernels: hardware folding vs table fallback");
+
+  // One contiguous buffer the size of the corpus, so these MB/s numbers are
+  // the checksum ceiling for the footer generation/verification above. The
+  // dispatch path picks PCLMUL/ARMv8 folding when the CPU has it; the
+  // fallback is the slice-by-8 table kernel both paths must match bit for
+  // bit (columnar_test pins that).
+  std::string crc_buf;
+  for (const std::string& p : raw_paths) crc_buf += *raw_dfs.ReadFile(p);
+  uint32_t crc_sink = 0;
+  const double crc_hw_ms = emit("crc32_dispatch", Time([&]() {
+    crc_sink ^= Crc32Update(0, crc_buf);
+    benchmark::DoNotOptimize(crc_sink);
+  }, reps));
+  const double crc_table_ms = emit("crc32_table", Time([&]() {
+    crc_sink ^= Crc32FallbackUpdate(0, crc_buf);
+    benchmark::DoNotOptimize(crc_sink);
+  }, reps));
+  const double crc_speedup = crc_hw_ms > 0 ? crc_table_ms / crc_hw_ms : 0.0;
+
   out_doc.Set("workloads", std::move(workloads));
+  out_doc.Set("crc32_hardware_enabled", Crc32HardwareEnabled());
+  out_doc.Set("crc32_hw_vs_table_speedup", crc_speedup);
   out_doc.Set("scan_footer_overhead_pct", scan_overhead_pct);
   out_doc.Set("write_commit_overhead_pct", write_overhead_pct);
   std::printf("footer verification scan overhead: %+.1f%% (budget <10%%)\n",
               scan_overhead_pct);
   std::printf("commit protocol writer overhead:   %+.1f%%\n",
               write_overhead_pct);
+  std::printf("crc32 hardware path: %s, %.2fx vs table\n",
+              Crc32HardwareEnabled() ? "enabled" : "disabled", crc_speedup);
 
   std::ofstream out(path);
   out << out_doc.Dump(2) << "\n";

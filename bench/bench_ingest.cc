@@ -1,9 +1,12 @@
 // Snapshot ingest throughput: DOM parsing (json::Parse + FromJson) vs the
 // streaming zero-copy decoder (JsonReader + Decode) vs the parallel sharded
 // scan (ScanJsonLines) at several thread counts, plus the to_chars-based
-// serialization path. Results are written as machine-readable JSON for
-// before/after comparison (--json=PATH, default BENCH_ingest.json;
-// --records=N and --shards=S set the workload size/layout).
+// serialization path and the blocked columnar format (ColumnarWriter
+// encode, ScanColumnBlocks at several thread counts, and a 64k/256k/1M
+// block-rows sweep). MB/s is computed from each format's own on-disk bytes.
+// Results are written as machine-readable JSON for before/after comparison
+// (--json=PATH, default BENCH_ingest.json; --records=N and --shards=S set
+// the workload size/layout).
 
 #include <chrono>
 #include <cstdio>
@@ -14,7 +17,9 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "core/columnar_records.h"
 #include "core/records.h"
+#include "dfs/columnar.h"
 #include "dfs/dfs.h"
 #include "dfs/jsonl.h"
 #include "json/json.h"
@@ -94,18 +99,44 @@ void RunIngestBench(const cfnet::FlagParser& flags) {
     paths.push_back(shard_path);
     total_bytes += *dfs.FileSize(shard_path);
   }
-  const double mb = static_cast<double>(total_bytes) / 1e6;
+  const double json_mb = static_cast<double>(total_bytes) / 1e6;
+
+  // The same records in the blocked columnar format (default 64k-row
+  // blocks), written through the commit protocol like a real compaction.
+  std::vector<StartupRecord> records;
+  records.reserve(n);
+  for (const json::Json& d : docs) records.push_back(StartupRecord::FromJson(d));
+  auto write_columnar = [&](const std::string& col_path, size_t block_rows) {
+    dfs::ColumnarWriteOptions copts;
+    copts.block_rows = block_rows;
+    dfs::ColumnarWriter<StartupRecord> writer(&dfs, col_path, copts);
+    for (const StartupRecord& r : records) writer.Add(r);
+    CFNET_CHECK(writer.Finish().ok());
+    return *dfs.FileSize(col_path);
+  };
+  const std::string col_path = "/bench/startups-col/part-all.cfc";
+  const uint64_t columnar_bytes = write_columnar(col_path, 64 * 1024);
+  const double col_mb = static_cast<double>(columnar_bytes) / 1e6;
 
   json::Json out_doc = json::Json::MakeObject();
   out_doc.Set("bench", "bench_ingest");
   out_doc.Set("records", static_cast<int64_t>(n));
   out_doc.Set("shards", static_cast<int64_t>(shards));
   out_doc.Set("bytes", static_cast<int64_t>(total_bytes));
+  out_doc.Set("columnar_bytes", static_cast<int64_t>(columnar_bytes));
+  out_doc.Set("columnar_compression_ratio",
+              columnar_bytes > 0
+                  ? static_cast<double>(total_bytes) /
+                        static_cast<double>(columnar_bytes)
+                  : 0.0);
   out_doc.Set("hardware_threads",
               static_cast<int64_t>(ThreadPool::DefaultParallelism()));
   json::Json workloads = json::Json::MakeArray();
 
-  auto emit = [&workloads, n, mb](const std::string& name, const Timing& t) {
+  // MB/s is against the format's own on-disk footprint, so JSON and
+  // columnar workloads stay comparable on records/s but honest on bytes/s.
+  auto emit = [&workloads, n](const std::string& name, const Timing& t,
+                              double mb) {
     json::Json w = json::Json::MakeObject();
     w.Set("name", name);
     w.Set("ms_per_rep", t.ms_per_rep);
@@ -113,7 +144,7 @@ void RunIngestBench(const cfnet::FlagParser& flags) {
           t.ms_per_rep > 0 ? static_cast<double>(n) / t.ms_per_rep * 1e3 : 0.0);
     w.Set("mb_per_sec", t.ms_per_rep > 0 ? mb / t.ms_per_rep * 1e3 : 0.0);
     workloads.Append(std::move(w));
-    std::printf("%-18s %9.2f ms  %8.2f MB/s  %7.1f krec/s\n", name.c_str(),
+    std::printf("%-22s %9.2f ms  %8.2f MB/s  %9.1f krec/s\n", name.c_str(),
                 t.ms_per_rep, mb / t.ms_per_rep * 1e3,
                 static_cast<double>(n) / t.ms_per_rep);
     return t.ms_per_rep;
@@ -133,7 +164,7 @@ void RunIngestBench(const cfnet::FlagParser& flags) {
       serialize_buf += '\n';
     }
     benchmark::DoNotOptimize(serialize_buf.data());
-  }, reps));
+  }, reps), json_mb);
 
   // Baseline ingest: DOM parse per line, then FromJson — the pre-streaming
   // LoadInputs path.
@@ -147,7 +178,7 @@ void RunIngestBench(const cfnet::FlagParser& flags) {
       }
     }
     benchmark::DoNotOptimize(sum);
-  }, reps));
+  }, reps), json_mb);
 
   auto scan_startups = [&](ThreadPool* pool) {
     dfs::ScanOptions options;
@@ -169,14 +200,15 @@ void RunIngestBench(const cfnet::FlagParser& flags) {
 
   // Streaming decoder, single-threaded: same records, no DOM allocation.
   const double stream_ms =
-      emit("stream_decode", Time([&]() { scan_startups(nullptr); }, reps));
+      emit("stream_decode", Time([&]() { scan_startups(nullptr); }, reps),
+           json_mb);
 
   // Parallel scan at fixed thread counts.
   json::Json scaling = json::Json::MakeArray();
   for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
     ThreadPool pool(threads);
     double ms = emit("scan_threads_" + std::to_string(threads),
-                     Time([&]() { scan_startups(&pool); }, reps));
+                     Time([&]() { scan_startups(&pool); }, reps), json_mb);
     json::Json s = json::Json::MakeObject();
     s.Set("threads", static_cast<int64_t>(threads));
     s.Set("ms_per_rep", ms);
@@ -193,12 +225,71 @@ void RunIngestBench(const cfnet::FlagParser& flags) {
     scaling_filled.Append(std::move(s));
   }
 
+  // Columnar block scan: same records, binary columns instead of JSON text.
+  auto scan_columnar = [&](const std::string& path_arg, ThreadPool* pool) {
+    dfs::ScanOptions options;
+    options.pool = pool;
+    auto parts =
+        dfs::ScanColumnBlocks<StartupRecord>(dfs, {path_arg}, options);
+    CFNET_CHECK(parts.ok());
+    int64_t sum = 0;
+    for (const auto& part : *parts) {
+      for (const StartupRecord& r : part) sum += r.follower_count;
+    }
+    benchmark::DoNotOptimize(sum);
+  };
+
+  const double col_ms = emit(
+      "columnar_scan",
+      Time([&]() { scan_columnar(col_path, nullptr); }, reps), col_mb);
+  json::Json col_scaling = json::Json::MakeArray();
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ThreadPool pool(threads);
+    double ms = emit("columnar_threads_" + std::to_string(threads),
+                     Time([&]() { scan_columnar(col_path, &pool); }, reps),
+                     col_mb);
+    json::Json s = json::Json::MakeObject();
+    s.Set("threads", static_cast<int64_t>(threads));
+    s.Set("ms_per_rep", ms);
+    col_scaling.Append(std::move(s));
+  }
+
+  // Block-rows sweep: frame/dictionary amortisation vs salvage/parallelism
+  // grain. Each size is written to its own file so MB/s tracks its actual
+  // footprint.
+  json::Json sweep = json::Json::MakeArray();
+  for (size_t block_rows :
+       {size_t{64} * 1024, size_t{256} * 1024, size_t{1024} * 1024}) {
+    const std::string sweep_path =
+        "/bench/startups-col-sweep/rows-" + std::to_string(block_rows) + ".cfc";
+    const uint64_t sweep_bytes = write_columnar(sweep_path, block_rows);
+    const double sweep_mb = static_cast<double>(sweep_bytes) / 1e6;
+    Timing t = Time([&]() { scan_columnar(sweep_path, nullptr); }, reps);
+    json::Json s = json::Json::MakeObject();
+    s.Set("block_rows", static_cast<int64_t>(block_rows));
+    s.Set("bytes", static_cast<int64_t>(sweep_bytes));
+    s.Set("ms_per_rep", t.ms_per_rep);
+    s.Set("records_per_sec",
+          t.ms_per_rep > 0 ? static_cast<double>(n) / t.ms_per_rep * 1e3 : 0.0);
+    s.Set("mb_per_sec", t.ms_per_rep > 0 ? sweep_mb / t.ms_per_rep * 1e3 : 0.0);
+    sweep.Append(std::move(s));
+    std::printf("block_rows %-9zu %9.2f ms  %8.2f MB/s  %9lu bytes\n",
+                block_rows, t.ms_per_rep, sweep_mb / t.ms_per_rep * 1e3,
+                static_cast<unsigned long>(sweep_bytes));
+  }
+
   out_doc.Set("workloads", std::move(workloads));
   out_doc.Set("scan_scaling", std::move(scaling_filled));
+  out_doc.Set("columnar_scaling", std::move(col_scaling));
+  out_doc.Set("block_rows_sweep", std::move(sweep));
   out_doc.Set("stream_vs_dom_speedup",
               stream_ms > 0 ? dom_ms / stream_ms : 0.0);
+  out_doc.Set("columnar_vs_stream_speedup",
+              col_ms > 0 ? stream_ms / col_ms : 0.0);
   std::printf("stream_decode speedup vs dom_parse: %.2fx\n",
               stream_ms > 0 ? dom_ms / stream_ms : 0.0);
+  std::printf("columnar_scan speedup vs stream_decode: %.2fx\n",
+              col_ms > 0 ? stream_ms / col_ms : 0.0);
 
   std::ofstream out(path);
   out << out_doc.Dump(2) << "\n";

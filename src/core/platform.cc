@@ -1,5 +1,6 @@
 #include "core/platform.h"
 
+#include "core/columnar_records.h"
 #include "dfs/commit.h"
 #include "dfs/jsonl.h"
 #include "util/logging.h"
@@ -11,8 +12,14 @@ ExploratoryPlatform::ExploratoryPlatform(const Options& options)
   world_ = std::make_unique<synth::World>(synth::World::Generate(options.world));
   web_ = std::make_unique<net::SocialWeb>(world_.get());
   dfs_ = std::make_unique<dfs::MiniDfs>(options.dfs);
+  crawler::CrawlConfig crawl = options.crawl;
+  if (options.compact_snapshots) {
+    // Fires after every successful crawl/replay flush; the platform outlives
+    // the crawler it hands this to.
+    crawl.post_flush_hook = [this] { return CompactSnapshots(); };
+  }
   crawler_ = std::make_unique<crawler::Crawler>(web_.get(), dfs_.get(),
-                                                options.crawl);
+                                                std::move(crawl));
   ctx_ = std::make_shared<dataflow::ExecutionContext>(
       options.analytics_parallelism == 0 ? ThreadPool::DefaultParallelism()
                                          : options.analytics_parallelism);
@@ -25,50 +32,34 @@ Status ExploratoryPlatform::CollectData() {
   return Status::OK();
 }
 
-namespace {
-
-/// Decodes one typed snapshot directory with the streaming scan: every shard
-/// is split into line-aligned ranges, each range decoded DOM-free on the
-/// analytics pool, and the flattened result is the typed record vector.
-template <typename T>
-Result<std::vector<T>> LoadTypedSnapshot(
-    const dfs::MiniDfs& dfs, const std::vector<std::string>& files,
-    dataflow::ExecutionContext* ctx, bool salvage, dfs::ScanReport* report) {
-  dfs::ScanOptions scan;
-  scan.pool = &ctx->pool();
-  scan.salvage = salvage;
-  scan.report = report;
-  auto decode = [](std::string_view line) -> Result<T> {
-    json::JsonReader reader(line);
-    CFNET_ASSIGN_OR_RETURN(T record, T::Decode(reader));
-    CFNET_RETURN_IF_ERROR(reader.Finish());
-    return record;
-  };
-  CFNET_ASSIGN_OR_RETURN(auto parts,
-                         dfs::ScanJsonLines<T>(dfs, files, decode, scan));
-  size_t total = 0;
-  for (const auto& p : parts) total += p.size();
-  std::vector<T> out;
-  out.reserve(total);
-  for (auto& p : parts) {
-    out.insert(out.end(), std::make_move_iterator(p.begin()),
-               std::make_move_iterator(p.end()));
-  }
-  return out;
+Status ExploratoryPlatform::CompactSnapshots() {
+  ThreadPool* pool = &ctx_->pool();
+  CFNET_RETURN_IF_ERROR(CompactSnapshotDir<StartupRecord>(
+      dfs_.get(), crawler_->StartupSnapshotDir(), pool));
+  CFNET_RETURN_IF_ERROR(CompactSnapshotDir<UserRecord>(
+      dfs_.get(), crawler_->UserSnapshotDir(), pool));
+  CFNET_RETURN_IF_ERROR(CompactSnapshotDir<CrunchBaseRecord>(
+      dfs_.get(), crawler_->CrunchBaseSnapshotDir(), pool));
+  CFNET_RETURN_IF_ERROR(CompactSnapshotDir<FacebookRecord>(
+      dfs_.get(), crawler_->FacebookSnapshotDir(), pool));
+  CFNET_RETURN_IF_ERROR(CompactSnapshotDir<TwitterRecord>(
+      dfs_.get(), crawler_->TwitterSnapshotDir(), pool));
+  return Status::OK();
 }
-
-}  // namespace
 
 Result<dataflow::Dataset<json::Json>> ExploratoryPlatform::LoadSnapshotDataset(
     const std::string& dir) {
   // Parallel scan over the snapshot shards; the pre-partitioned ranges feed
-  // the dataset directly, so no repartition pass runs.
+  // the dataset directly, so no repartition pass runs. This DOM pipeline is
+  // JSON-only by contract (columnar files in the directory are skipped).
   dfs::ScanOptions scan;
   scan.pool = &ctx_->pool();
   scan.salvage = options_.salvage_loads;
   scan.report = &scan_report_;
   CFNET_ASSIGN_OR_RETURN(
-      auto parts, dfs::ScanJsonLinesDom(*dfs_, dfs_->List(dir), scan));
+      auto parts,
+      dfs::ScanJsonLinesDom(*dfs_, SplitSnapshotFiles(dfs_->List(dir)).json,
+                            scan));
   return dataflow::Dataset<json::Json>::FromPartitions(ctx_, std::move(parts));
 }
 
@@ -88,32 +79,33 @@ Result<AnalysisInputs> ExploratoryPlatform::LoadInputs() {
                                           swept.quarantined_paths.begin(),
                                           swept.quarantined_paths.end());
   }
+  // Each directory loads from its columnar compaction when one is fresh
+  // (block-parallel, no JSON parse) and falls back to the JSON shards
+  // otherwise — see core/columnar_records.h for the staleness contract.
+  ThreadPool* pool = &ctx_->pool();
   AnalysisInputs inputs;
   CFNET_ASSIGN_OR_RETURN(
       inputs.startups,
-      LoadTypedSnapshot<StartupRecord>(
-          *dfs_, dfs_->List(crawler_->StartupSnapshotDir()), ctx_.get(),
-          salvage, &scan_report_));
+      LoadSnapshotRecords<StartupRecord>(*dfs_, crawler_->StartupSnapshotDir(),
+                                         pool, salvage, &scan_report_));
   CFNET_ASSIGN_OR_RETURN(
       inputs.users,
-      LoadTypedSnapshot<UserRecord>(
-          *dfs_, dfs_->List(crawler_->UserSnapshotDir()), ctx_.get(), salvage,
-          &scan_report_));
+      LoadSnapshotRecords<UserRecord>(*dfs_, crawler_->UserSnapshotDir(), pool,
+                                      salvage, &scan_report_));
   CFNET_ASSIGN_OR_RETURN(
       inputs.crunchbase,
-      LoadTypedSnapshot<CrunchBaseRecord>(
-          *dfs_, dfs_->List(crawler_->CrunchBaseSnapshotDir()), ctx_.get(),
-          salvage, &scan_report_));
+      LoadSnapshotRecords<CrunchBaseRecord>(
+          *dfs_, crawler_->CrunchBaseSnapshotDir(), pool, salvage,
+          &scan_report_));
   CFNET_ASSIGN_OR_RETURN(
       inputs.facebook,
-      LoadTypedSnapshot<FacebookRecord>(
-          *dfs_, dfs_->List(crawler_->FacebookSnapshotDir()), ctx_.get(),
-          salvage, &scan_report_));
+      LoadSnapshotRecords<FacebookRecord>(
+          *dfs_, crawler_->FacebookSnapshotDir(), pool, salvage,
+          &scan_report_));
   CFNET_ASSIGN_OR_RETURN(
       inputs.twitter,
-      LoadTypedSnapshot<TwitterRecord>(
-          *dfs_, dfs_->List(crawler_->TwitterSnapshotDir()), ctx_.get(),
-          salvage, &scan_report_));
+      LoadSnapshotRecords<TwitterRecord>(*dfs_, crawler_->TwitterSnapshotDir(),
+                                         pool, salvage, &scan_report_));
   cached_inputs_ = std::make_unique<AnalysisInputs>(inputs);
   return inputs;
 }

@@ -51,6 +51,11 @@ class ExploratoryPlatform {
     /// Off by default: a healthy pipeline should fail loudly on damage it
     /// did not expect.
     bool salvage_loads = false;
+    /// Compact JSON snapshots into columnar (.cfc) files after each crawl
+    /// flush, and prefer them on load (see core/columnar_records.h). JSON
+    /// shards stay in place as the write/replay boundary and the fallback
+    /// when a columnar file is stale or damaged.
+    bool compact_snapshots = true;
   };
 
   explicit ExploratoryPlatform(const Options& options);
@@ -65,6 +70,12 @@ class ExploratoryPlatform {
   /// Parses every snapshot into typed records (parallel, via the dataflow
   /// engine). Requires CollectData() first. Cached after the first call.
   Result<AnalysisInputs> LoadInputs();
+
+  /// Compacts every snapshot directory's JSON shards into columnar files
+  /// (no-op for up-to-date directories). Runs automatically after each
+  /// crawl flush when `compact_snapshots` is on; exposed for tests and for
+  /// re-compacting after out-of-band snapshot edits.
+  Status CompactSnapshots();
 
   /// Loads one snapshot directory as a dataset of parsed JSON documents.
   Result<dataflow::Dataset<json::Json>> LoadSnapshotDataset(

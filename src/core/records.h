@@ -31,6 +31,8 @@ struct StartupRecord {
   bool fundraising = false;
   int64_t follower_count = 0;
 
+  bool operator==(const StartupRecord&) const = default;
+
   static StartupRecord FromJson(const json::Json& j);
   static Result<StartupRecord> Decode(json::JsonReader& reader);
 };
@@ -43,6 +45,8 @@ struct UserRecord {
   std::vector<uint64_t> investment_company_ids;  // AngelList-visible
   int64_t following_startup_count = 0;
   int64_t following_user_count = 0;
+
+  bool operator==(const UserRecord&) const = default;
 
   static UserRecord FromJson(const json::Json& j);
   static Result<UserRecord> Decode(json::JsonReader& reader);
@@ -57,6 +61,8 @@ struct CrunchBaseRecord {
 
   bool funded() const { return total_funding_usd > 0 || num_rounds > 0; }
 
+  bool operator==(const CrunchBaseRecord&) const = default;
+
   static CrunchBaseRecord FromJson(const json::Json& j);
   static Result<CrunchBaseRecord> Decode(json::JsonReader& reader);
 };
@@ -64,6 +70,8 @@ struct CrunchBaseRecord {
 struct FacebookRecord {
   uint64_t angellist_id = 0;
   int64_t fan_count = 0;  // likes
+
+  bool operator==(const FacebookRecord&) const = default;
 
   static FacebookRecord FromJson(const json::Json& j);
   static Result<FacebookRecord> Decode(json::JsonReader& reader);
@@ -74,6 +82,8 @@ struct TwitterRecord {
   int64_t statuses_count = 0;
   int64_t followers_count = 0;
   bool followers_count_null = false;
+
+  bool operator==(const TwitterRecord&) const = default;
 
   static TwitterRecord FromJson(const json::Json& j);
   static Result<TwitterRecord> Decode(json::JsonReader& reader);

@@ -367,6 +367,9 @@ Status Crawler::RunFrom(size_t phase_idx, size_t cursor) {
     CFNET_RETURN_IF_ERROR(AfterPhase(phase, kPhaseOrder[idx + 1]));
   }
   CFNET_RETURN_IF_ERROR(FlushAllShards());
+  if (config_.post_flush_hook) {
+    CFNET_RETURN_IF_ERROR(config_.post_flush_hook());
+  }
   MergeCounters();
   report_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -772,6 +775,11 @@ Status Crawler::ReplayDeadLetters() {
   }
   CFNET_RETURN_IF_ERROR(FlushAllShards());
   CFNET_RETURN_IF_ERROR(SaveCheckpoint(kPhaseDone, 0));
+  if (config_.post_flush_hook) {
+    // Replays append to snapshot dirs, so any columnar compaction of them
+    // is stale now — re-run the hook to refresh it.
+    CFNET_RETURN_IF_ERROR(config_.post_flush_hook());
+  }
   MergeCounters();
   return Status::OK();
 }

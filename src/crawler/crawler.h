@@ -46,6 +46,11 @@ struct CrawlConfig {
   /// Safety valve for tests: stop the BFS after this many rounds (0 = run
   /// until the frontier is exhausted, as the paper does).
   int max_bfs_rounds = 0;
+  /// Invoked after a successful crawl (or dead-letter replay) has flushed
+  /// every snapshot shard. The platform installs snapshot compaction here
+  /// (JSON shards -> columnar files); the crawler itself stays
+  /// record-agnostic. A failing hook fails the crawl it rode on.
+  std::function<Status()> post_flush_hook;
 
   // --- fault tolerance ----------------------------------------------------
   /// Per-service circuit breaker tuning (one breaker per augmentation

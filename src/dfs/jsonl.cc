@@ -35,6 +35,12 @@ void ScanReport::Merge(const ScanReport& other) {
   quarantined_paths.insert(quarantined_paths.end(),
                            other.quarantined_paths.begin(),
                            other.quarantined_paths.end());
+  columnar_files += other.columnar_files;
+  columnar_blocks_scanned += other.columnar_blocks_scanned;
+  columnar_blocks_failed += other.columnar_blocks_failed;
+  columnar_dictionary_bytes += other.columnar_dictionary_bytes;
+  columnar_encoded_bytes += other.columnar_encoded_bytes;
+  columnar_decoded_bytes += other.columnar_decoded_bytes;
 }
 
 JsonLinesWriter::JsonLinesWriter(MiniDfs* dfs, std::string path,

@@ -7,10 +7,27 @@
 namespace cfnet {
 
 /// CRC-32 (IEEE 802.3 polynomial, the HDFS default block checksum).
+///
+/// Dispatches to a hardware-accelerated path when one is available:
+/// carry-less-multiply folding (PCLMULQDQ) on x86-64, the ARMv8 `crc32`
+/// instructions on aarch64. Both are bit-identical to the table fallback —
+/// footers and block checksums written by either path verify under the
+/// other (pinned by the differential test in util_misc_test). Build with
+/// -DCFNET_DISABLE_HW_CRC=ON to force the table path everywhere.
 uint32_t Crc32(std::string_view data);
 
 /// Incremental form: feed chunks with the previous return value.
 uint32_t Crc32Update(uint32_t crc, std::string_view data);
+
+/// Portable slice-by-8 table implementation — the reference the hardware
+/// paths are differential-tested against (and the fallback baseline for the
+/// CRC micro-bench in bench_durability).
+uint32_t Crc32FallbackUpdate(uint32_t crc, std::string_view data);
+
+/// True when this process dispatches large inputs to a hardware CRC path
+/// (compile-time support present, runtime CPU check passed, and the build
+/// did not force the fallback).
+bool Crc32HardwareEnabled();
 
 }  // namespace cfnet
 

@@ -15,7 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/columnar_records.h"
 #include "crawler/crawler.h"
+#include "dfs/columnar.h"
 #include "dfs/commit.h"
 #include "dfs/dfs.h"
 #include "dfs/fault_fs.h"
@@ -481,6 +483,129 @@ TEST(CrashRecoverySweepTest, KillAnywhereRecoversExactlyOnce) {
     EXPECT_GT(restarted_from_scratch, 0);
     // And kills tear commits often enough that the sweep GC is exercised.
     EXPECT_GT(total_temps_removed, 0);
+  }
+}
+
+// The columnar-commit sweep: snapshot compaction rewrites a multi-kilobyte
+// .cfc file through the same write-temp/verify/rename protocol as every
+// other commit, so a crash at ANY mutation op inside the recompaction must
+// leave either the previous columnar file or the complete new one — never a
+// torn block stream. Each seed kills the storage layer at a different op
+// inside a recompaction (with background write faults scripted on top),
+// sweeps the directory like a restarting process would, proves whatever
+// survived still scans strictly, and re-runs the compaction to converge on
+// the byte-identical uninterrupted result.
+TEST(CrashRecoverySweepTest, KillAnywhereDuringColumnarCommit) {
+  const std::string dir = "/snap/facebook/";
+  const std::string col_path = core::ColumnarPathFor(dir);
+  std::string shard0, shard1;
+  for (int i = 0; i < 48; ++i) {
+    shard0 += "{\"angellist_id\":" + std::to_string(100 + i) +
+              ",\"fan_count\":" + std::to_string(i * 13) + "}\n";
+  }
+  for (int i = 0; i < 19; ++i) {
+    shard1 += "{\"angellist_id\":" + std::to_string(700 + i) +
+              ",\"fan_count\":" + std::to_string(5000 - i) + "}\n";
+  }
+
+  // Uninterrupted baseline: compact version A (one shard), land a second
+  // shard (the dead-letter-replay shape) and recompact to version B.
+  std::string bytes_a, bytes_b;
+  uint64_t ops_before = 0, ops_after = 0;
+  {
+    dfs::MiniDfs d;
+    ASSERT_TRUE(dfs::CommitFile(&d, dir + "part-0.jsonl", shard0).ok());
+    ASSERT_TRUE(
+        core::CompactSnapshotDir<core::FacebookRecord>(&d, dir, nullptr, 16)
+            .ok());
+    auto a = d.ReadFile(col_path);
+    ASSERT_TRUE(a.ok());
+    bytes_a = *a;
+    ASSERT_TRUE(dfs::CommitFile(&d, dir + "part-1.jsonl", shard1).ok());
+    ops_before = d.GetStats().mutation_ops;
+    ASSERT_TRUE(
+        core::CompactSnapshotDir<core::FacebookRecord>(&d, dir, nullptr, 16)
+            .ok());
+    ops_after = d.GetStats().mutation_ops;
+    auto b = d.ReadFile(col_path);
+    ASSERT_TRUE(b.ok());
+    bytes_b = *b;
+  }
+  ASSERT_GT(ops_after, ops_before);
+  ASSERT_NE(bytes_a, bytes_b);
+
+  const int seeds = ChaosSeedCount();
+  int64_t total_temps_removed = 0;
+  int64_t kept_old = 0;
+  int64_t kept_new = 0;
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("columnar chaos seed " + std::to_string(seed));
+    dfs::MiniDfs d;
+    ASSERT_TRUE(dfs::CommitFile(&d, dir + "part-0.jsonl", shard0).ok());
+    ASSERT_TRUE(
+        core::CompactSnapshotDir<core::FacebookRecord>(&d, dir, nullptr, 16)
+            .ok());
+    ASSERT_TRUE(dfs::CommitFile(&d, dir + "part-1.jsonl", shard1).ok());
+    ASSERT_EQ(d.GetStats().mutation_ops, ops_before);
+
+    // Background faults the recompaction must ride out, plus a kill pinned
+    // to one of its mutation ops. Faults only ever add retry ops, so the
+    // kill op is always reached before the final rename can land.
+    dfs::IoFaultPlan plan;
+    plan.seed = 4000 + static_cast<uint64_t>(seed);
+    plan.torn_writes = {{1, 0, 0.05}};
+    plan.enospc = {{1, 0, 0.05}};
+    plan.write_bit_flips = {{1, 0, 0.02}};
+    d.InstallFaultPlan(plan);
+    const uint64_t kill_at =
+        ops_before + 1 +
+        Mix64(0x5EEDC0DEull ^ static_cast<uint64_t>(seed)) %
+            (ops_after - ops_before);
+    d.ArmKill(kill_at, /*seed=*/static_cast<uint64_t>(seed) * 6151 + 3);
+
+    Status died =
+        core::CompactSnapshotDir<core::FacebookRecord>(&d, dir, nullptr, 16);
+    ASSERT_FALSE(died.ok()) << "kill at op " << kill_at << " never surfaced";
+
+    // Restart: disarm, sweep orphaned temps, and check the all-or-nothing
+    // promise for the columnar file itself.
+    d.DisarmKill();
+    d.InstallFaultPlan(dfs::IoFaultPlan{});
+    total_temps_removed +=
+        static_cast<int64_t>(dfs::SweepDir(&d, dir).temp_files_removed);
+
+    auto raw = d.ReadFile(col_path);
+    ASSERT_TRUE(raw.ok());
+    const bool old_version = (*raw == bytes_a);
+    const bool new_version = (*raw == bytes_b);
+    ASSERT_TRUE(old_version || new_version)
+        << "torn columnar file survived the crash";
+    kept_old += old_version ? 1 : 0;
+    kept_new += new_version ? 1 : 0;
+
+    // Whatever survived must still scan strictly: every block CRC-clean.
+    dfs::ScanReport rep;
+    dfs::ScanOptions scan;
+    scan.report = &rep;
+    auto parts =
+        dfs::ScanColumnBlocks<core::FacebookRecord>(d, {col_path}, scan);
+    ASSERT_TRUE(parts.ok());
+    EXPECT_EQ(rep.columnar_blocks_failed, 0u);
+
+    // Recovery converges: one clean recompaction lands exactly version B.
+    ASSERT_TRUE(
+        core::CompactSnapshotDir<core::FacebookRecord>(&d, dir, nullptr, 16)
+            .ok());
+    auto healed = d.ReadFile(col_path);
+    ASSERT_TRUE(healed.ok());
+    EXPECT_EQ(*healed, bytes_b);
+  }
+  EXPECT_EQ(kept_old + kept_new, seeds);
+  if (seeds >= 20) {
+    // Kills mid-temp-write must actually leave orphans for the sweep GC,
+    // and at least some seeds must die before the new file lands.
+    EXPECT_GT(total_temps_removed, 0);
+    EXPECT_GT(kept_old, 0);
   }
 }
 
