@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace cfnet::community {
@@ -12,24 +13,23 @@ namespace {
 
 constexpr double kMinDot = 1e-10;
 
-double Dot(const double* a, const double* b, int c) {
-  double s = 0;
-  for (int i = 0; i < c; ++i) s += a[i] * b[i];
-  return s;
-}
-
-/// Per-worker buffers for one row update. `gather` holds the neighbor rows
-/// copied contiguously (count * c doubles), so the dot-product loops stream
-/// sequential memory instead of chasing a pointer per neighbor; the rest are
-/// hoisted out of the row loop so updates allocate nothing.
+/// Per-worker buffers for one row update, sized once for the maximum degree
+/// on either side so the row loop never reallocates (degree-skewed graphs
+/// used to churn `gather` on every high-degree row). `gather` holds the
+/// neighbor rows copied contiguously (count * c doubles), so the dot-product
+/// kernels stream sequential memory instead of chasing a pointer per
+/// neighbor.
 struct RowScratch {
   std::vector<double> gather;
+  std::vector<double> nbr_sum;
   std::vector<double> rest;
   std::vector<double> grad;
   std::vector<double> candidate;
 
-  explicit RowScratch(int c)
-      : rest(static_cast<size_t>(c)),
+  RowScratch(int c, size_t max_degree)
+      : gather(max_degree * static_cast<size_t>(c)),
+        nbr_sum(static_cast<size_t>(c)),
+        rest(static_cast<size_t>(c)),
         grad(static_cast<size_t>(c)),
         candidate(static_cast<size_t>(c)) {}
 };
@@ -69,20 +69,32 @@ CodaResult Coda::Fit(const graph::BipartiteGraph& g) const {
                       ? static_cast<size_t>(config_.num_threads)
                       : ThreadPool::DefaultParallelism());
 
+  const size_t cs = static_cast<size_t>(c);
+
+  // One-time max-degree reservation: every worker's scratch is sized for the
+  // largest neighborhood on either side, so no row update reallocates.
+  size_t max_degree = 1;
+  for (uint32_t u = 0; u < nl; ++u) {
+    max_degree = std::max(max_degree, g.OutNeighbors(u).size());
+  }
+  for (uint32_t v = 0; v < nr; ++v) {
+    max_degree = std::max(max_degree, g.InNeighbors(v).size());
+  }
+  std::vector<RowScratch> scratches;
+  scratches.reserve(pool.num_threads());
+  for (size_t w = 0; w < pool.num_threads(); ++w) {
+    scratches.emplace_back(c, max_degree);
+  }
+
   // Local objective of one row x (F_u against its out-neighborhood, or H_v
   // against its in-neighborhood):
   //   l(x) = sum_{nbr} log(1 - exp(-x . Y_nbr)) - x . rest
   // where rest = (column sums of the other side) - (sum over neighbors),
   // and the neighbor rows are packed contiguously in `nbr_rows`.
-  auto row_objective = [c](const double* x, const double* nbr_rows,
-                           size_t count, const double* rest) {
-    double obj = 0;
-    for (size_t i = 0; i < count; ++i) {
-      double dot = std::max(Dot(x, nbr_rows + i * c, c), kMinDot);
-      obj += std::log1p(-std::exp(-dot));
-    }
-    obj -= Dot(x, rest, c);
-    return obj;
+  auto row_objective = [cs](const double* x, const double* nbr_rows,
+                            size_t count, const double* rest) {
+    return simd::SumLogEdgeProbF64(x, nbr_rows, count, cs, kMinDot) -
+           simd::DotF64(x, rest, cs);
   };
 
   auto update_row = [&](double* x, const double* nbr_rows, size_t count,
@@ -91,30 +103,21 @@ CodaResult Coda::Fit(const graph::BipartiteGraph& g) const {
     // Gradient: sum_nbr Y / expm1(dot) - rest.
     double* grad = scratch.grad.data();
     std::fill(scratch.grad.begin(), scratch.grad.end(), 0.0);
-    for (size_t i = 0; i < count; ++i) {
-      const double* y = nbr_rows + i * c;
-      double dot = std::max(Dot(x, y, c), kMinDot);
-      double w = 1.0 / std::expm1(dot);  // exp(-d)/(1-exp(-d))
-      w = std::min(w, 1.0 / kMinDot);
-      for (int k = 0; k < c; ++k) grad[k] += w * y[k];
-    }
-    for (int k = 0; k < c; ++k) grad[k] -= rest[k];
+    simd::AccumExpm1RowsF64(x, nbr_rows, count, cs, kMinDot, 1.0 / kMinDot,
+                            grad);
+    simd::SubF64(grad, rest, cs);
 
     double base = row_objective(x, nbr_rows, count, rest);
     double* candidate = scratch.candidate.data();
     double step = config_.initial_step;
     for (int bt = 0; bt <= config_.max_backtracks; ++bt) {
-      double gdx = 0;
-      for (int k = 0; k < c; ++k) {
-        double nx = std::clamp(x[k] + step * grad[k], 0.0,
-                               config_.max_affiliation);
-        candidate[k] = nx;
-        gdx += grad[k] * (nx - x[k]);
-      }
+      double gdx = simd::ClampedStepDotF64(x, grad, step, 0.0,
+                                           config_.max_affiliation, candidate,
+                                           cs);
       if (gdx <= 0) break;  // projected step is not an ascent direction
       double obj = row_objective(candidate, nbr_rows, count, rest);
       if (obj >= base + 1e-4 * gdx) {  // Armijo
-        for (int k = 0; k < c; ++k) x[k] = candidate[k];
+        std::copy(candidate, candidate + cs, x);
         return;
       }
       step *= config_.step_beta;
@@ -130,8 +133,7 @@ CodaResult Coda::Fit(const graph::BipartiteGraph& g) const {
     std::vector<std::future<void>> futs;
     for (size_t w = 0; w < workers; ++w) {
       futs.push_back(pool.Submit([&, w]() {
-        RowScratch scratch(c);
-        for (size_t i = w; i < n; i += workers) fn(i, scratch);
+        for (size_t i = w; i < n; i += workers) fn(i, scratches[w]);
       }));
     }
     for (auto& fu : futs) fu.get();
@@ -141,15 +143,14 @@ CodaResult Coda::Fit(const graph::BipartiteGraph& g) const {
     double ll = 0;
     double edge_dot_sum = 0;
     for (uint32_t u = 0; u < nl; ++u) {
-      const double* fu = &f[u * static_cast<size_t>(c)];
+      const double* fu = &f[u * cs];
       for (uint32_t v : g.OutNeighbors(u)) {
-        double dot =
-            std::max(Dot(fu, &h[v * static_cast<size_t>(c)], c), kMinDot);
+        double dot = std::max(simd::DotF64(fu, &h[v * cs], cs), kMinDot);
         ll += std::log1p(-std::exp(-dot));
         edge_dot_sum += dot;
       }
     }
-    double all_pairs = Dot(sum_f.data(), sum_h.data(), c);
+    double all_pairs = simd::DotF64(sum_f.data(), sum_h.data(), cs);
     ll -= all_pairs - edge_dot_sum;
     return ll;
   };
@@ -161,57 +162,37 @@ CodaResult Coda::Fit(const graph::BipartiteGraph& g) const {
     // --- F phase (investor rows; H and sum_h fixed). ---------------------
     parallel_rows(nl, [&](size_t u, RowScratch& scratch) {
       auto nbrs_span = g.OutNeighbors(static_cast<uint32_t>(u));
-      scratch.gather.resize(nbrs_span.size() * static_cast<size_t>(c));
-      std::copy(sum_h.begin(), sum_h.end(), scratch.rest.begin());
       double* gather = scratch.gather.data();
+      std::fill(scratch.nbr_sum.begin(), scratch.nbr_sum.end(), 0.0);
       for (size_t i = 0; i < nbrs_span.size(); ++i) {
-        const double* hv = &h[nbrs_span[i] * static_cast<size_t>(c)];
-        double* dst = gather + i * c;
-        for (int k = 0; k < c; ++k) {
-          dst[k] = hv[k];
-          scratch.rest[static_cast<size_t>(k)] -= hv[k];
-        }
+        simd::CopyAddF64(gather + i * cs, scratch.nbr_sum.data(),
+                         &h[nbrs_span[i] * cs], cs);
       }
-      for (int k = 0; k < c; ++k) {
-        scratch.rest[static_cast<size_t>(k)] =
-            std::max(0.0, scratch.rest[static_cast<size_t>(k)]);
-      }
-      update_row(&f[u * static_cast<size_t>(c)], gather, nbrs_span.size(),
-                 scratch);
+      simd::ClampedSubF64(scratch.rest.data(), sum_h.data(),
+                          scratch.nbr_sum.data(), cs);
+      update_row(&f[u * cs], gather, nbrs_span.size(), scratch);
     });
     std::fill(sum_f.begin(), sum_f.end(), 0.0);
     for (size_t u = 0; u < nl; ++u) {
-      for (int k = 0; k < c; ++k) {
-        sum_f[static_cast<size_t>(k)] += f[u * static_cast<size_t>(c) + k];
-      }
+      simd::AddF64(sum_f.data(), &f[u * cs], cs);
     }
 
     // --- H phase (company rows; F and sum_f fixed). ----------------------
     parallel_rows(nr, [&](size_t v, RowScratch& scratch) {
       auto nbrs_span = g.InNeighbors(static_cast<uint32_t>(v));
-      scratch.gather.resize(nbrs_span.size() * static_cast<size_t>(c));
-      std::copy(sum_f.begin(), sum_f.end(), scratch.rest.begin());
       double* gather = scratch.gather.data();
+      std::fill(scratch.nbr_sum.begin(), scratch.nbr_sum.end(), 0.0);
       for (size_t i = 0; i < nbrs_span.size(); ++i) {
-        const double* fu = &f[nbrs_span[i] * static_cast<size_t>(c)];
-        double* dst = gather + i * c;
-        for (int k = 0; k < c; ++k) {
-          dst[k] = fu[k];
-          scratch.rest[static_cast<size_t>(k)] -= fu[k];
-        }
+        simd::CopyAddF64(gather + i * cs, scratch.nbr_sum.data(),
+                         &f[nbrs_span[i] * cs], cs);
       }
-      for (int k = 0; k < c; ++k) {
-        scratch.rest[static_cast<size_t>(k)] =
-            std::max(0.0, scratch.rest[static_cast<size_t>(k)]);
-      }
-      update_row(&h[v * static_cast<size_t>(c)], gather, nbrs_span.size(),
-                 scratch);
+      simd::ClampedSubF64(scratch.rest.data(), sum_f.data(),
+                          scratch.nbr_sum.data(), cs);
+      update_row(&h[v * cs], gather, nbrs_span.size(), scratch);
     });
     std::fill(sum_h.begin(), sum_h.end(), 0.0);
     for (size_t v = 0; v < nr; ++v) {
-      for (int k = 0; k < c; ++k) {
-        sum_h[static_cast<size_t>(k)] += h[v * static_cast<size_t>(c) + k];
-      }
+      simd::AddF64(sum_h.data(), &h[v * cs], cs);
     }
 
     double ll = log_likelihood();
@@ -262,7 +243,7 @@ CodaResult Coda::Fit(const graph::BipartiteGraph& g) const {
 double CodaResult::EdgeProbability(uint32_t left, uint32_t right) const {
   if (num_factors == 0) return 0;
   const size_t c = static_cast<size_t>(num_factors);
-  double dot = Dot(&f[left * c], &h[right * c], num_factors);
+  double dot = simd::DotF64(&f[left * c], &h[right * c], c);
   return -std::expm1(-std::max(dot, kMinDot));
 }
 

@@ -1,8 +1,10 @@
 #include "core/community_metrics.h"
 
 #include <algorithm>
+#include <span>
 
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace cfnet::core {
 namespace {
@@ -12,18 +14,106 @@ namespace {
 /// intersection wins (no fill/clear amortization to pay for).
 constexpr size_t kBitsetDegreeThreshold = 64;
 
+/// Cap on the packed high-degree bitset block: 1<<23 words = 64 MiB. When
+/// the block would exceed it, the all-pairs path falls back to the original
+/// per-morsel fill/probe/clear scratch.
+constexpr size_t kBitsetWordBudget = size_t{1} << 23;
+
+/// Word-scan vs probe heuristic: AndPopcountU64 touches all `words` of both
+/// rows; probing touches min(da, db) neighbor IDs. The word scan is
+/// SIMD-friendly enough to win until it reads ~8x more memory.
+constexpr size_t kAndWordsPerProbe = 8;
+
+/// Packed company bitsets for every member whose degree is at least
+/// kBitsetDegreeThreshold, built once per SharedInvestmentSizes call so
+/// high-degree pairs intersect by word-wise AND+popcount instead of a
+/// per-row fill/probe/clear cycle. `index` is empty when the word budget
+/// ruled the block out.
+struct MemberBitsets {
+  size_t words = 0;
+  std::vector<uint32_t> index;  // per member: slot + 1, or 0 (low degree)
+  std::vector<uint64_t> bits;   // slot-major, `words` words per slot
+
+  bool built() const { return !index.empty(); }
+
+  const uint64_t* Row(size_t i) const {
+    const uint32_t slot = index[i];
+    return slot == 0 ? nullptr
+                     : bits.data() + static_cast<size_t>(slot - 1) * words;
+  }
+};
+
+MemberBitsets BuildMemberBitsets(const graph::BipartiteGraph& g,
+                                 const std::vector<uint32_t>& members) {
+  MemberBitsets mb;
+  mb.words = (g.num_right() + 63) / 64;
+  if (mb.words == 0) return mb;
+  size_t num_hi = 0;
+  for (uint32_t u : members) {
+    if (g.OutNeighbors(u).size() >= kBitsetDegreeThreshold) ++num_hi;
+  }
+  if (num_hi == 0 || num_hi > kBitsetWordBudget / mb.words) return mb;
+  mb.index.assign(members.size(), 0);
+  mb.bits.assign(num_hi * mb.words, 0);
+  uint32_t slot = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    auto na = g.OutNeighbors(members[i]);
+    if (na.size() < kBitsetDegreeThreshold) continue;
+    uint64_t* row = mb.bits.data() + static_cast<size_t>(slot) * mb.words;
+    for (uint32_t r : na) row[r >> 6] |= uint64_t{1} << (r & 63);
+    mb.index[i] = ++slot;
+  }
+  return mb;
+}
+
+/// Probes each neighbor ID against a packed bitset row.
+size_t ProbeBitset(std::span<const uint32_t> nbrs, const uint64_t* row) {
+  size_t shared = 0;
+  for (uint32_t r : nbrs) shared += (row[r >> 6] >> (r & 63)) & 1;
+  return shared;
+}
+
 /// First flat pair index of triangular row i over m members (pairs are
 /// enumerated (i, j), j > i, in lexicographic order).
 size_t RowOffset(size_t m, size_t i) { return i * (m - 1) - i * (i - 1) / 2; }
 
 /// Computes rows [row_begin, row_end) of the all-pairs triangle into the
 /// pre-sized output at their fixed offsets. Writes are disjoint across
-/// rows, so any sharding of rows yields identical output.
+/// rows, so any sharding of rows yields identical output. All four
+/// intersection strategies are integer-exact, so which one fires never
+/// changes a value — only how fast it arrives.
 void ComputePairRows(const graph::BipartiteGraph& g,
-                     const std::vector<uint32_t>& members, size_t row_begin,
-                     size_t row_end, std::vector<uint64_t>& bits,
-                     std::vector<double>& out) {
+                     const std::vector<uint32_t>& members,
+                     const MemberBitsets& mb, size_t row_begin, size_t row_end,
+                     std::vector<uint64_t>& bits, std::vector<double>& out) {
   const size_t m = members.size();
+  if (mb.built()) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      auto na = g.OutNeighbors(members[i]);
+      const uint64_t* row_a = mb.Row(i);
+      size_t pos = RowOffset(m, i);
+      for (size_t j = i + 1; j < m; ++j) {
+        auto nb = g.OutNeighbors(members[j]);
+        const uint64_t* row_b = mb.Row(j);
+        size_t shared;
+        if (row_a != nullptr && row_b != nullptr &&
+            mb.words <= kAndWordsPerProbe * std::min(na.size(), nb.size())) {
+          shared = simd::AndPopcountU64(row_a, row_b, mb.words);
+        } else if (row_a != nullptr &&
+                   (row_b == nullptr || nb.size() <= na.size())) {
+          shared = ProbeBitset(nb, row_a);
+        } else if (row_b != nullptr) {
+          shared = ProbeBitset(na, row_b);
+        } else {
+          shared = g.SharedOutNeighbors(members[i], members[j]);
+        }
+        out[pos++] = static_cast<double>(shared);
+      }
+    }
+    return;
+  }
+  // Fallback (word budget exceeded): per-row fill/probe/clear against the
+  // morsel-local scratch.
   for (size_t i = row_begin; i < row_end; ++i) {
     const uint32_t a = members[i];
     auto na = g.OutNeighbors(a);
@@ -31,11 +121,8 @@ void ComputePairRows(const graph::BipartiteGraph& g,
     if (na.size() >= kBitsetDegreeThreshold) {
       for (uint32_t r : na) bits[r >> 6] |= uint64_t{1} << (r & 63);
       for (size_t j = i + 1; j < m; ++j) {
-        size_t shared = 0;
-        for (uint32_t r : g.OutNeighbors(members[j])) {
-          shared += (bits[r >> 6] >> (r & 63)) & 1;
-        }
-        out[pos++] = static_cast<double>(shared);
+        out[pos++] = static_cast<double>(
+            ProbeBitset(g.OutNeighbors(members[j]), bits.data()));
       }
       // Only this row's fill touched these words; zero them wholesale.
       for (uint32_t r : na) bits[r >> 6] = 0;
@@ -121,10 +208,11 @@ std::vector<double> SharedInvestmentSizes(const graph::BipartiteGraph& g,
     }
     const std::vector<size_t> starts = BalancePairRows(m, target);
     const size_t num_morsels = starts.size() - 1;
-    const size_t words = (g.num_right() + 63) / 64;
+    const MemberBitsets mb = BuildMemberBitsets(g, members);
+    const size_t scratch_words = mb.built() ? 0 : (g.num_right() + 63) / 64;
     auto run_morsel = [&](size_t t) {
-      std::vector<uint64_t> bits(words, 0);
-      ComputePairRows(g, members, starts[t], starts[t + 1], bits, out);
+      std::vector<uint64_t> bits(scratch_words, 0);
+      ComputePairRows(g, members, mb, starts[t], starts[t + 1], bits, out);
     };
     if (par.pool == nullptr || par.threads() <= 1 || num_morsels <= 1) {
       for (size_t t = 0; t < num_morsels; ++t) run_morsel(t);
@@ -155,9 +243,8 @@ double MeanSharedInvestmentSize(const graph::BipartiteGraph& g,
   std::vector<double> sizes =
       SharedInvestmentSizes(g, members, max_pairs, seed, par);
   if (sizes.empty()) return 0;
-  double sum = 0;
-  for (double s : sizes) sum += s;
-  return sum / static_cast<double>(sizes.size());
+  return simd::SumF64(sizes.data(), sizes.size()) /
+         static_cast<double>(sizes.size());
 }
 
 double SharedInvestorCompanyPercent(const graph::BipartiteGraph& g,

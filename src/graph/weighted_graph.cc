@@ -4,6 +4,8 @@
 #include <tuple>
 #include <utility>
 
+#include "util/simd.h"
+
 namespace cfnet::graph {
 
 WeightedGraph WeightedGraph::ProjectLeft(const BipartiteGraph& g,
@@ -126,12 +128,11 @@ void WeightedGraph::FinishBuild(
 void WeightedGraph::ComputeDegrees() {
   const size_t num_nodes = offsets_.empty() ? 0 : offsets_.size() - 1;
   weighted_degree_.assign(num_nodes, 0);
-  total_weight_2m_ = 0;
   for (uint32_t v = 0; v < num_nodes; ++v) {
     auto ws = Weights(v);
-    for (double w : ws) weighted_degree_[v] += w;
-    total_weight_2m_ += weighted_degree_[v];
+    weighted_degree_[v] = simd::SumF64(ws.data(), ws.size());
   }
+  total_weight_2m_ = simd::SumF64(weighted_degree_.data(), num_nodes);
 }
 
 }  // namespace cfnet::graph

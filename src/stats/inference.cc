@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace cfnet::stats {
 
@@ -12,24 +13,12 @@ double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y) {
   const size_t n = std::min(x.size(), y.size());
   if (n < 2) return 0;
-  double mx = 0;
-  double my = 0;
-  for (size_t i = 0; i < n; ++i) {
-    mx += x[i];
-    my += y[i];
-  }
-  mx /= static_cast<double>(n);
-  my /= static_cast<double>(n);
+  const double mx = simd::SumF64(x.data(), n) / static_cast<double>(n);
+  const double my = simd::SumF64(y.data(), n) / static_cast<double>(n);
   double sxy = 0;
   double sxx = 0;
   double syy = 0;
-  for (size_t i = 0; i < n; ++i) {
-    double dx = x[i] - mx;
-    double dy = y[i] - my;
-    sxy += dx * dy;
-    sxx += dx * dx;
-    syy += dy * dy;
-  }
+  simd::PearsonAccumF64(x.data(), y.data(), n, mx, my, &sxy, &sxx, &syy);
   if (sxx <= 0 || syy <= 0) return 0;
   return sxy / std::sqrt(sxx * syy);
 }
@@ -98,9 +87,8 @@ BootstrapInterval BootstrapMeanCi(const std::vector<double>& samples,
                                   uint64_t seed) {
   BootstrapInterval out;
   if (samples.empty()) return out;
-  double sum = 0;
-  for (double s : samples) sum += s;
-  out.mean = sum / static_cast<double>(samples.size());
+  out.mean = simd::SumF64(samples.data(), samples.size()) /
+             static_cast<double>(samples.size());
   if (samples.size() == 1 || resamples <= 0) {
     out.lo = out.hi = out.mean;
     return out;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd.h"
+
 namespace cfnet::stats {
 
 Summary Summarize(const std::vector<double>& samples) {
@@ -16,11 +18,8 @@ Summary Summarize(const std::vector<double>& samples) {
   s.median = (s.n % 2 == 1)
                  ? sorted[s.n / 2]
                  : (sorted[s.n / 2 - 1] + sorted[s.n / 2]) / 2.0;
-  double sum = 0;
-  for (double x : sorted) sum += x;
-  s.mean = sum / static_cast<double>(s.n);
   double ss = 0;
-  for (double x : sorted) ss += (x - s.mean) * (x - s.mean);
+  simd::MeanVarF64(sorted.data(), sorted.size(), &s.mean, &ss);
   s.stddev = s.n > 1 ? std::sqrt(ss / static_cast<double>(s.n - 1)) : 0.0;
   return s;
 }

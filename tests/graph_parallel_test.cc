@@ -10,14 +10,18 @@
 
 #include <gtest/gtest.h>
 
+#include "community/coda.h"
 #include "community/label_propagation.h"
 #include "community/louvain.h"
 #include "core/community_metrics.h"
 #include "graph/bipartite_graph.h"
 #include "graph/centrality.h"
 #include "graph/weighted_graph.h"
+#include "stats/inference.h"
+#include "stats/stats.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace cfnet {
@@ -196,6 +200,72 @@ TEST(GraphParallelTest, CommunityLabelsIndependentOfProjectionThreads) {
     EXPECT_EQ(community::RunLouvain(proj).labels, louvain_ref.labels);
     EXPECT_EQ(community::RunLabelPropagation(proj).labels, lp_ref.labels);
   }
+}
+
+// The virtual-lane contract promises BYTE-identical outputs with the vector
+// backends active vs the scalar fallback, at any thread/morsel count. These
+// run the full pipelines both ways; EXPECT_EQ on doubles is deliberate.
+
+TEST(GraphParallelTest, CodaFitBitIdenticalSimdOnOff) {
+  graph::BipartiteGraph g = HeavyTailed(21, 120, 150);
+  community::CodaConfig config;
+  config.num_communities = 24;
+  config.max_iterations = 4;
+  config.seed = 7;
+  for (int threads : {1, 3}) {
+    config.num_threads = threads;
+    community::Coda coda(config);
+    community::CodaResult on = coda.Fit(g);
+    community::CodaResult off;
+    {
+      simd::ScopedForceScalar force;
+      off = coda.Fit(g);
+    }
+    EXPECT_EQ(on.f, off.f) << "threads=" << threads;
+    EXPECT_EQ(on.h, off.h) << "threads=" << threads;
+    EXPECT_EQ(on.log_likelihood_trace, off.log_likelihood_trace);
+    EXPECT_EQ(on.final_log_likelihood, off.final_log_likelihood);
+    EXPECT_EQ(on.threshold_used, off.threshold_used);
+  }
+}
+
+TEST(GraphParallelTest, MetricsAndStatsBitIdenticalSimdOnOff) {
+  graph::BipartiteGraph g = HeavyTailed(22);
+  std::vector<uint32_t> members;
+  for (uint32_t l = 0; l < g.num_left(); l += 3) members.push_back(l);
+
+  std::vector<double> x, y;
+  Rng rng(23);
+  for (size_t i = 0; i < 4097; ++i) {
+    x.push_back(rng.Uniform(-2.0, 2.0));
+    y.push_back(0.6 * x.back() + rng.Uniform(-1.0, 1.0));
+  }
+
+  ThreadPool pool(3);
+  ParallelOptions par{&pool, 7};
+  auto weighted_degrees = [](const graph::WeightedGraph& wg) {
+    std::vector<double> d;
+    for (uint32_t v = 0; v < wg.num_nodes(); ++v) {
+      d.push_back(wg.WeightedDegree(v));
+    }
+    return d;
+  };
+  const std::vector<double> sizes_on =
+      core::SharedInvestmentSizes(g, members, 2000000, 1, par);
+  const std::vector<double> degrees_on =
+      weighted_degrees(graph::WeightedGraph::ProjectLeft(g));
+  const stats::Summary summary_on = stats::Summarize(x);
+  const double pearson_on = stats::PearsonCorrelation(x, y);
+
+  simd::ScopedForceScalar force;
+  EXPECT_EQ(core::SharedInvestmentSizes(g, members, 2000000, 1, par),
+            sizes_on);
+  EXPECT_EQ(weighted_degrees(graph::WeightedGraph::ProjectLeft(g)),
+            degrees_on);
+  const stats::Summary summary_off = stats::Summarize(x);
+  EXPECT_EQ(summary_on.mean, summary_off.mean);
+  EXPECT_EQ(summary_on.stddev, summary_off.stddev);
+  EXPECT_EQ(pearson_on, stats::PearsonCorrelation(x, y));
 }
 
 TEST(GraphParallelTest, FilterLeftDirectCsrMatchesRebuild) {
