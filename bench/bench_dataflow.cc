@@ -264,9 +264,7 @@ void RunMeasuredWorkloads(const cfnet::FlagParser& flags) {
   }
 
   doc.Set("workloads", std::move(workloads));
-  std::ofstream out(path);
-  out << doc.Dump(2) << "\n";
-  std::printf("wrote %s\n", path.c_str());
+  WriteJsonDoc(path, doc);
 }
 
 }  // namespace

@@ -229,9 +229,7 @@ void RunDurabilityBench(const cfnet::FlagParser& flags) {
   std::printf("crc32 hardware path: %s, %.2fx vs table\n",
               Crc32HardwareEnabled() ? "enabled" : "disabled", crc_speedup);
 
-  std::ofstream out(path);
-  out << out_doc.Dump(2) << "\n";
-  std::printf("wrote %s\n", path.c_str());
+  WriteJsonDoc(path, out_doc);
 }
 
 }  // namespace

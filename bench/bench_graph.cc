@@ -648,9 +648,7 @@ void RunGraphBench(const FlagParser& flags) {
   std::printf("acceptance: shared_sizes %.2fx, louvain %.2fx (target 1.3x)\n",
               shared_speedup, louvain_speedup);
 
-  std::ofstream out(path);
-  out << out_doc.Dump(2) << "\n";
-  std::printf("wrote %s\n", path.c_str());
+  WriteJsonDoc(path, out_doc);
 }
 
 }  // namespace

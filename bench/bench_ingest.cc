@@ -291,9 +291,7 @@ void RunIngestBench(const cfnet::FlagParser& flags) {
   std::printf("columnar_scan speedup vs stream_decode: %.2fx\n",
               col_ms > 0 ? stream_ms / col_ms : 0.0);
 
-  std::ofstream out(path);
-  out << out_doc.Dump(2) << "\n";
-  std::printf("wrote %s\n", path.c_str());
+  WriteJsonDoc(path, out_doc);
 }
 
 }  // namespace

@@ -1,0 +1,224 @@
+// Serving-tier overload benchmark: a closed-loop client fleet (founders /
+// investors / job seekers) measures sustainable capacity, then open-loop
+// phases push the service to 4x that rate, run a slow-query (recommendation)
+// storm, and hot-swap snapshots under load. Reported per phase: offered vs
+// goodput, p50/p99 of served responses, shed/degraded/timeout counts, and
+// the torn-response detector (must stay zero). Results go to --json=PATH
+// (default BENCH_serve.json); --scale sizes the crawled world, --duration_ms
+// the per-phase wall time, --clients and --workers the two fleets.
+//
+// The acceptance bar this records: at 4x sustainable offered load, goodput
+// stays >= 80% of the closed-loop saturation rate, and every served
+// response completed within its deadline (late completions are counted as
+// timeouts, never as served).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/investor_graph.h"
+#include "serve/epoch_store.h"
+#include "serve/load_gen.h"
+#include "serve/service.h"
+#include "serve/serving_snapshot.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace cfnet::bench {
+namespace {
+
+using serve::ClosedLoopConfig;
+using serve::EpochStore;
+using serve::LoadResult;
+using serve::OpenLoopConfig;
+using serve::PersonaMix;
+using serve::QueryService;
+using serve::QueryServiceConfig;
+using serve::ServingSnapshot;
+using serve::WorkloadGenerator;
+
+serve::SnapshotBuildOptions NameResolvers(const synth::World& world) {
+  serve::SnapshotBuildOptions build;
+  build.investor_name = [&world](uint64_t id) {
+    const synth::UserTruth* u = world.FindUser(id);
+    return u != nullptr ? u->name : "investor-" + std::to_string(id);
+  };
+  build.company_name = [&world](uint64_t id) {
+    const synth::CompanyTruth* c = world.FindCompany(id);
+    return c != nullptr ? c->name : "company-" + std::to_string(id);
+  };
+  return build;
+}
+
+void PrintPhase(const std::string& name, const LoadResult& r) {
+  std::printf(
+      "%-16s offered %8.0f rps  goodput %8.0f rps  p50 %5lld us  p99 %6lld us"
+      "  shed %lld+%lld  degraded %lld  timeouts %lld  torn %lld\n",
+      name.c_str(), r.offered_rps, r.goodput_rps,
+      static_cast<long long>(r.latency_p50_micros),
+      static_cast<long long>(r.latency_p99_micros),
+      static_cast<long long>(r.shed_queue_full),
+      static_cast<long long>(r.shed_deadline),
+      static_cast<long long>(r.degraded), static_cast<long long>(r.timeouts),
+      static_cast<long long>(r.torn_responses));
+}
+
+json::Json PhaseDoc(const std::string& name, const LoadResult& r,
+                    QueryService& service) {
+  json::Json p = r.ToJson();
+  p.Set("phase", name);
+  // Per-class shed/degraded/served accounting rides along with each phase
+  // (each phase runs its own QueryService, so the counters are per-phase).
+  p.Set("service", service.StatsJson());
+  return p;
+}
+
+void RunServeBench(const cfnet::FlagParser& flags) {
+  const std::string path = flags.GetString("json", "BENCH_serve.json");
+  const int64_t duration_micros = flags.GetInt("duration_ms", 1500) * 1000;
+  const int clients = static_cast<int>(flags.GetInt("clients", 4));
+  const int workers = static_cast<int>(flags.GetInt("workers", 2));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 20160626));
+
+  Testbed& bed = GetTestbed(flags);
+  graph::BipartiteGraph g =
+      core::BuildInvestorGraph(bed.platform->context(), *bed.inputs);
+  CFNET_CHECK(g.num_left() > 0);
+
+  Section("serving snapshot");
+  const auto build_start = std::chrono::steady_clock::now();
+  EpochStore<ServingSnapshot> store;
+  serve::SnapshotBuildOptions build = NameResolvers(bed.platform->world());
+  store.Publish(serve::BuildServingSnapshot(1, g, build));
+  const double build_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - build_start)
+                              .count();
+  auto pin = store.Acquire();
+  std::printf("built epoch 1 in %.0f ms: %zu investors, %zu companies, "
+              "%zu projection edges\n",
+              build_ms, pin->graph.num_left(), pin->graph.num_right(),
+              pin->projection.num_edges());
+  WorkloadGenerator gen(*pin, PersonaMix{});
+  pin = EpochStore<ServingSnapshot>::Pin{};
+
+  QueryServiceConfig base_config;
+  base_config.worker_threads = workers;
+  auto make_service = [&] {
+    return std::make_unique<QueryService>(&store, base_config);
+  };
+
+  json::Json doc = json::Json::MakeObject();
+  doc.Set("bench", "bench_serve");
+  doc.Set("scale", bed.scale);
+  doc.Set("clients", static_cast<int64_t>(clients));
+  doc.Set("workers", static_cast<int64_t>(workers));
+  doc.Set("duration_micros", duration_micros);
+  doc.Set("snapshot_build_ms", build_ms);
+  json::Json phases = json::Json::MakeArray();
+
+  // Phase 1 — sustainable capacity: closed loop, mixed personas. The
+  // goodput here is the saturation baseline the overload phases compare to.
+  Section("load phases");
+  ClosedLoopConfig closed;
+  closed.clients = clients;
+  closed.duration_micros = duration_micros;
+  closed.seed = seed;
+  double saturation_rps = 0;
+  {
+    auto service = make_service();
+    LoadResult r = RunClosedLoop(*service, gen, closed);
+    service->Shutdown();
+    saturation_rps = r.goodput_rps;
+    PrintPhase("saturation", r);
+    phases.Append(PhaseDoc("saturation", r, *service));
+  }
+
+  // Phase 2 — overload burst: open loop at 4x the sustainable rate. The
+  // admission queues and deadline shedding must keep goodput near
+  // saturation instead of collapsing under the backlog.
+  LoadResult overload;
+  {
+    auto service = make_service();
+    OpenLoopConfig open;
+    open.offered_rps = 4.0 * saturation_rps;
+    open.duration_micros = duration_micros;
+    open.seed = seed + 1;
+    overload = RunOpenLoop(*service, gen, open);
+    service->Shutdown();
+    PrintPhase("overload_4x", overload);
+    phases.Append(PhaseDoc("overload_4x", overload, *service));
+  }
+
+  // Phase 3 — slow-query storm: founders only (recommendation-heavy, the
+  // expensive class) at 2x saturation. The recommend breaker degrades the
+  // class instead of letting it starve everything else.
+  {
+    auto service = make_service();
+    OpenLoopConfig storm;
+    storm.offered_rps = 2.0 * saturation_rps;
+    storm.duration_micros = duration_micros;
+    storm.mix = PersonaMix{1.0, 0.0, 0.0};
+    storm.seed = seed + 2;
+    LoadResult r = RunOpenLoop(*service, gen, storm);
+    service->Shutdown();
+    PrintPhase("slow_storm", r);
+    phases.Append(PhaseDoc("slow_storm", r, *service));
+  }
+
+  // Phase 4 — snapshot swap under load: closed loop while a publisher
+  // hot-swaps fresh epochs every ~100 ms. Zero torn responses required.
+  LoadResult swap;
+  {
+    auto service = make_service();
+    std::atomic<bool> stop{false};
+    std::thread publisher([&] {
+      uint64_t epoch = 2;
+      while (!stop.load()) {
+        store.Publish(serve::BuildServingSnapshot(epoch++, g, build));
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+    swap = RunClosedLoop(*service, gen, closed);
+    stop.store(true);
+    publisher.join();
+    service->Shutdown();
+    store.Sweep();
+    PrintPhase("swap_under_load", swap);
+    phases.Append(PhaseDoc("swap_under_load", swap, *service));
+  }
+  doc.Set("phases", std::move(phases));
+
+  Section("acceptance");
+  const double goodput_ratio =
+      saturation_rps > 0 ? overload.goodput_rps / saturation_rps : 0;
+  const bool goodput_ok = goodput_ratio >= 0.8;
+  const bool torn_ok = overload.torn_responses == 0 && swap.torn_responses == 0;
+  std::printf("goodput at 4x offered: %.0f%% of saturation (target >= 80%%)%s\n",
+              goodput_ratio * 100, goodput_ok ? "" : "  ** MISS **");
+  std::printf("torn responses under swap: %lld (must be 0)%s\n",
+              static_cast<long long>(overload.torn_responses +
+                                     swap.torn_responses),
+              torn_ok ? "" : "  ** MISS **");
+  std::printf("epochs served during swap phase: %lld\n",
+              static_cast<long long>(swap.epochs_seen));
+  doc.Set("goodput_ratio_at_4x", goodput_ratio);
+  doc.Set("goodput_target_met", goodput_ok);
+  doc.Set("torn_responses", overload.torn_responses + swap.torn_responses);
+
+  WriteJsonDoc(path, doc);
+}
+
+}  // namespace
+}  // namespace cfnet::bench
+
+int main(int argc, char** argv) {
+  cfnet::FlagParser flags(argc, argv);
+  cfnet::bench::RunServeBench(flags);
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include <benchmark/benchmark.h>
 
@@ -76,6 +77,12 @@ void RunBenchmarks(int argc, char** argv) {
   benchmark::Initialize(&bench_argc, args.data());
   Section("microbenchmarks (google-benchmark)");
   benchmark::RunSpecifiedBenchmarks();
+}
+
+void WriteJsonDoc(const std::string& path, const json::Json& doc) {
+  std::ofstream out(path);
+  out << doc.Dump(2) << "\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace cfnet::bench

@@ -7,6 +7,7 @@
 
 #include "core/experiments.h"
 #include "core/platform.h"
+#include "json/json.h"
 #include "util/flags.h"
 
 namespace cfnet::bench {
@@ -39,6 +40,10 @@ void RunBenchmarks(int argc, char** argv);
 
 /// Prints a section header.
 void Section(const std::string& title);
+
+/// Writes `doc` pretty-printed to `path` and prints the destination — the
+/// shared tail of every BENCH_*.json emitter.
+void WriteJsonDoc(const std::string& path, const json::Json& doc);
 
 }  // namespace cfnet::bench
 

@@ -1,6 +1,9 @@
 #ifndef CFNET_CORE_PLATFORM_H_
 #define CFNET_CORE_PLATFORM_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -56,6 +59,12 @@ class ExploratoryPlatform {
     /// shards stay in place as the write/replay boundary and the fallback
     /// when a columnar file is stale or damaged.
     bool compact_snapshots = true;
+    /// Fires after every successful crawl/replay flush (post compaction when
+    /// `compact_snapshots` is on) with a monotonically increasing epoch
+    /// number. The serving tier hooks this to rebuild and hot-swap its
+    /// query snapshot; see src/serve. Runs on the crawler's flush thread —
+    /// keep it cheap or hand the work off.
+    std::function<void(uint64_t epoch)> epoch_published_hook;
   };
 
   explicit ExploratoryPlatform(const Options& options);
@@ -93,6 +102,10 @@ class ExploratoryPlatform {
   /// paths quarantined by the pre-load sweep (salvage mode only).
   const dfs::ScanReport& scan_report() const { return scan_report_; }
   std::shared_ptr<dataflow::ExecutionContext> context() { return ctx_; }
+  /// Number of snapshot epochs published so far (flush count).
+  uint64_t snapshot_epoch() const {
+    return snapshot_epoch_.load(std::memory_order_acquire);
+  }
 
  private:
   Options options_;
@@ -102,6 +115,7 @@ class ExploratoryPlatform {
   std::unique_ptr<crawler::Crawler> crawler_;
   std::shared_ptr<dataflow::ExecutionContext> ctx_;
   bool collected_ = false;
+  std::atomic<uint64_t> snapshot_epoch_{0};
   std::unique_ptr<AnalysisInputs> cached_inputs_;
   dfs::ScanReport scan_report_;
 };

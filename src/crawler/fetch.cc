@@ -4,75 +4,6 @@
 
 namespace cfnet::crawler {
 
-bool CircuitBreaker::AllowRequest(int64_t now_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
-  switch (state_) {
-    case State::kClosed:
-      return true;
-    case State::kOpen:
-      if (now_micros < open_until_micros_) return false;
-      state_ = State::kHalfOpen;
-      half_open_admitted_ = 0;
-      half_open_successes_ = 0;
-      [[fallthrough]];
-    case State::kHalfOpen:
-      if (half_open_admitted_ >= config_.half_open_probes) return false;
-      ++half_open_admitted_;
-      return true;
-  }
-  return true;
-}
-
-void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (state_ == State::kHalfOpen) {
-    if (++half_open_successes_ >= config_.half_open_probes) {
-      state_ = State::kClosed;
-      consecutive_failures_ = 0;
-    }
-    return;
-  }
-  consecutive_failures_ = 0;
-}
-
-void CircuitBreaker::RecordFailure(int64_t now_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (state_ == State::kHalfOpen) {
-    // A failed probe re-opens immediately for another cooldown.
-    state_ = State::kOpen;
-    open_until_micros_ =
-        std::max(open_until_micros_, now_micros + config_.cooldown_micros);
-    trips_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  if (state_ == State::kOpen) return;  // racing worker, already open
-  if (++consecutive_failures_ >= config_.failure_threshold) {
-    state_ = State::kOpen;
-    open_until_micros_ = now_micros + config_.cooldown_micros;
-    consecutive_failures_ = 0;
-    trips_.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-
-void CircuitBreaker::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  state_ = State::kClosed;
-  consecutive_failures_ = 0;
-  half_open_admitted_ = 0;
-  half_open_successes_ = 0;
-  open_until_micros_ = 0;
-}
-
-CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return state_;
-}
-
-int64_t CircuitBreaker::open_until_micros() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return open_until_micros_;
-}
-
 net::ApiResponse FetchWithRetry(net::ApiService* service,
                                 net::ApiRequest request, TokenPool* tokens,
                                 const FetchPolicy& policy,

@@ -10,6 +10,7 @@
 
 #include "net/service.h"
 #include "util/backoff.h"
+#include "util/circuit_breaker.h"
 #include "util/result.h"
 
 namespace cfnet::crawler {
@@ -89,51 +90,15 @@ struct FetchCounters {
   }
 };
 
-/// Circuit-breaker tuning (virtual-time cooldowns).
-struct CircuitBreakerConfig {
-  int failure_threshold = 5;                  // consecutive failures to open
-  int64_t cooldown_micros = 60ll * 1000000;   // open -> half-open delay
-  int half_open_probes = 1;                   // successes needed to re-close
-};
-
-/// Per-service circuit breaker shared by all crawler workers: closed ->
-/// open after `failure_threshold` consecutive failures, open -> half-open
-/// once the virtual-time cooldown elapses, half-open -> closed after
-/// `half_open_probes` successful probes (any probe failure re-opens).
+/// The per-service circuit breaker shared by all crawler workers now lives
+/// in util/circuit_breaker.h (the serving tier reuses it for per-query-class
+/// admission control); these aliases keep every crawler call site unchanged.
+/// Crawler semantics are unchanged: closed -> open after `failure_threshold`
+/// consecutive failures, open -> half-open once the virtual-time cooldown
+/// elapses, half-open -> closed after `half_open_probes` successful probes.
 /// While open, FetchWithRetry fails fast without touching the service.
-/// Thread-safe; `trips()` counts transitions into the open state.
-class CircuitBreaker {
- public:
-  enum class State { kClosed, kOpen, kHalfOpen };
-
-  explicit CircuitBreaker(CircuitBreakerConfig config = {})
-      : config_(config) {}
-
-  /// True when a request may be issued at virtual time `now_micros`
-  /// (closed, or open past its cooldown — which admits half-open probes).
-  bool AllowRequest(int64_t now_micros);
-  void RecordSuccess();
-  void RecordFailure(int64_t now_micros);
-  /// Back to closed with counters cleared; `trips()` stays (it is a
-  /// monotonic metric, not state).
-  void Reset();
-
-  State state() const;
-  int64_t trips() const { return trips_.load(std::memory_order_relaxed); }
-  /// Virtual time the current open period ends (0 when never opened). A
-  /// waiting worker advances its clock here before probing.
-  int64_t open_until_micros() const;
-
- private:
-  CircuitBreakerConfig config_;
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  int consecutive_failures_ = 0;
-  int half_open_admitted_ = 0;
-  int half_open_successes_ = 0;
-  int64_t open_until_micros_ = 0;
-  std::atomic<int64_t> trips_{0};
-};
+using CircuitBreakerConfig = util::CircuitBreakerConfig;
+using CircuitBreaker = util::CircuitBreaker;
 
 /// Issues `request` against `service`, handling transient 503s and
 /// malformed 200 bodies (retry with exponential backoff in virtual time)

@@ -1,0 +1,110 @@
+#ifndef CFNET_SERVE_LOAD_GEN_H_
+#define CFNET_SERVE_LOAD_GEN_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "serve/metrics.h"
+#include "serve/service.h"
+#include "serve/serving_snapshot.h"
+
+namespace cfnet::serve {
+
+/// Traffic mix over the three user personas of the crowdfunding network:
+/// founders looking for investors for their startup (recommendation-heavy),
+/// investors scouting co-investors (similarity + facets) and job seekers
+/// researching well-connected investors (search-heavy). Weights are
+/// normalized internally.
+struct PersonaMix {
+  double founder = 0.25;
+  double investor = 0.30;
+  double job_seeker = 0.45;
+};
+
+/// Samples persona-shaped QueryRequests against one snapshot's universe
+/// (its investor ids, company ids and name prefixes). Deterministic per
+/// (snapshot, seed stream); safe to share across client threads — each
+/// caller brings its own RNG.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const ServingSnapshot& snap, PersonaMix mix);
+
+  QueryRequest Next(std::mt19937_64& rng) const;
+
+ private:
+  QueryRequest FounderRequest(std::mt19937_64& rng) const;
+  QueryRequest InvestorRequest(std::mt19937_64& rng) const;
+  QueryRequest JobSeekerRequest(std::mt19937_64& rng) const;
+
+  double founder_cut_ = 0;   // cumulative mix thresholds in [0,1]
+  double investor_cut_ = 0;
+  std::vector<uint64_t> investor_ids_;
+  std::vector<uint64_t> company_ids_;
+  std::vector<std::string> prefixes_;  // search seeds from real names
+};
+
+/// Aggregated outcome of one load phase. `torn_responses` counts responses
+/// whose (epoch, content fingerprint) pair disagrees with every other
+/// response of the same epoch — the detector for a torn snapshot view; it
+/// must stay zero.
+struct LoadResult {
+  int64_t issued = 0;
+  int64_t served = 0;
+  int64_t degraded = 0;
+  int64_t cache_hits = 0;
+  int64_t shed_queue_full = 0;
+  int64_t shed_deadline = 0;
+  int64_t shed_shutdown = 0;
+  int64_t timeouts = 0;
+  int64_t errors = 0;          // 4xx from the queries themselves
+  int64_t torn_responses = 0;
+  int64_t epochs_seen = 0;
+  int64_t wall_micros = 0;
+  int64_t latency_p50_micros = 0;  // served responses only
+  int64_t latency_p99_micros = 0;
+  double latency_mean_micros = 0;
+  double offered_rps = 0;   // issued / wall
+  double goodput_rps = 0;   // served within deadline / wall
+
+  json::Json ToJson() const;
+};
+
+struct ClosedLoopConfig {
+  int clients = 4;
+  /// Stop after this many requests per client (0 = use duration).
+  int requests_per_client = 0;
+  /// Stop after this much wall time (service clock), if requests_per_client
+  /// is 0.
+  int64_t duration_micros = 1'000'000;
+  int64_t deadline_micros = 0;  // relative per-request deadline; 0 = class default
+  PersonaMix mix;
+  uint64_t seed = 1;
+};
+
+struct OpenLoopConfig {
+  /// Target offered load; the dispatcher fires SubmitAsync on this schedule
+  /// regardless of completions — this is what pushes the service past
+  /// saturation.
+  double offered_rps = 1000;
+  int64_t duration_micros = 1'000'000;
+  int64_t deadline_micros = 0;
+  PersonaMix mix;
+  uint64_t seed = 1;
+};
+
+/// Closed loop: `clients` threads, each issuing the next request only after
+/// the previous response arrives. Measures sustainable throughput.
+LoadResult RunClosedLoop(QueryService& service, const WorkloadGenerator& gen,
+                         const ClosedLoopConfig& config);
+
+/// Open loop: fires requests at `offered_rps` without waiting, then drains.
+/// Measures behavior under overload (shed/degraded/goodput at N× capacity).
+LoadResult RunOpenLoop(QueryService& service, const WorkloadGenerator& gen,
+                       const OpenLoopConfig& config);
+
+}  // namespace cfnet::serve
+
+#endif  // CFNET_SERVE_LOAD_GEN_H_

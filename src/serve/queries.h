@@ -1,0 +1,68 @@
+#ifndef CFNET_SERVE_QUERIES_H_
+#define CFNET_SERVE_QUERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "json/json.h"
+#include "serve/serving_snapshot.h"
+
+namespace cfnet::serve {
+
+/// The serving tier's query classes. Search and facet queries are cheap
+/// (index lookups / precomputed payloads); recommendation walks the
+/// co-investment projection and is the class that degrades under load.
+enum class QueryClass { kSearch, kRecommend, kFacet };
+
+const char* QueryClassName(QueryClass c);
+
+/// Execution limits for one query. The full path uses the generous
+/// defaults; the degraded path (breaker open) swaps in hard caps and skips
+/// the expensive second hop, trading answer quality for bounded cost.
+struct QueryLimits {
+  size_t max_scan = SIZE_MAX;        // search: name-index entries examined
+  bool allow_substring = true;       // search: contains-scan permitted
+  size_t max_seeds = SIZE_MAX;       // recommend: seed investors expanded
+  size_t max_neighbors = SIZE_MAX;   // recommend: neighbors per seed
+  bool second_hop = true;            // recommend: 2-hop expansion
+};
+
+/// Limits used when a query class is degraded.
+QueryLimits DegradedLimits();
+
+/// Outcome of one query execution: an HTTP-ish status plus a JSON body.
+/// `truncated` reports that degraded limits actually clipped the answer.
+struct QueryOutcome {
+  int status = 200;  // 200, 400 bad params, 404 unknown id/endpoint
+  json::Json body;
+  bool truncated = false;
+};
+
+/// Executes `endpoint` with `params` against one pinned snapshot. Pure and
+/// read-only: safe from any number of workers concurrently.
+///
+/// Endpoints:
+///   investors.search     q=<prefix/substring> k= community= min_investments=
+///   investors.profile    id=<investor id>
+///   investors.recommend  startup_id=<company id> k=
+///   investors.similar    investor_id=<investor id> k=
+///   facets.communities   (precomputed)
+///   facets.centrality    (precomputed)
+QueryOutcome ExecuteQuery(const ServingSnapshot& snap,
+                          const std::string& endpoint,
+                          const std::map<std::string, std::string>& params,
+                          const QueryLimits& limits = {});
+
+/// Maps an endpoint to its admission class (kSearch for unknown endpoints —
+/// they fail fast with a 404 in ExecuteQuery).
+QueryClass ClassifyEndpoint(const std::string& endpoint);
+
+/// Stable 64-bit fingerprint of (endpoint, params) — the result-cache key
+/// component; parameter order does not matter (std::map iterates sorted).
+uint64_t FingerprintQuery(const std::string& endpoint,
+                          const std::map<std::string, std::string>& params);
+
+}  // namespace cfnet::serve
+
+#endif  // CFNET_SERVE_QUERIES_H_

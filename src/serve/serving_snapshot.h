@@ -1,0 +1,73 @@
+#ifndef CFNET_SERVE_SERVING_SNAPSHOT_H_
+#define CFNET_SERVE_SERVING_SNAPSHOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "community/community_set.h"
+#include "graph/bipartite_graph.h"
+#include "graph/weighted_graph.h"
+#include "json/json.h"
+
+namespace cfnet::serve {
+
+/// Everything one query epoch needs, precomputed and immutable: the investor
+/// graph, its co-investment projection, community labels, centrality scores,
+/// a name index for search, and the facet payloads. Built once per crawl
+/// epoch (by the epoch-publication hook) and published into an EpochStore —
+/// queries only ever read it, so no locking is needed on the query path.
+struct ServingSnapshot {
+  /// Per-investor serving entry, indexed by the graph's dense left index.
+  struct Investor {
+    uint64_t id = 0;
+    std::string name;
+    std::string name_lower;  // search key
+    int community = -1;      // disjoint (Louvain) community id, -1 isolated
+    double centrality = 0;   // PageRank on the co-investment projection
+  };
+
+  uint64_t epoch = 0;
+  /// Mixed from the graph shape + epoch; every response carries it so a
+  /// torn epoch view (fields from two snapshots) is detectable.
+  uint64_t content_fingerprint = 0;
+
+  graph::BipartiteGraph graph;       // investor -> company
+  graph::WeightedGraph projection;   // co-investment (left nodes)
+  std::vector<int> community_labels; // per left index, -1 = isolated
+  community::CommunitySet communities;
+  std::vector<Investor> investors;   // by dense left index
+  std::vector<uint32_t> by_name;     // left indices sorted by name_lower
+  std::vector<uint32_t> by_centrality;  // left indices, centrality desc
+  std::vector<std::string> company_names;  // by dense right index
+
+  json::Json facet_communities;  // precomputed facets.communities payload
+  json::Json facet_centrality;   // precomputed facets.centrality payload
+};
+
+/// Knobs for BuildServingSnapshot.
+struct SnapshotBuildOptions {
+  /// §5.2 cleaning: drop investors with fewer investments before serving
+  /// (1 = keep everyone).
+  size_t min_investments = 1;
+  /// Projection popularity cap (companies with more investors are skipped).
+  size_t max_right_degree = 500;
+  /// Display names; defaults derive "investor-<id>" / "company-<id>".
+  std::function<std::string(uint64_t id)> investor_name;
+  std::function<std::string(uint64_t id)> company_name;
+  /// Members listed per community in the facets payload.
+  size_t facet_top_members = 5;
+};
+
+/// Builds a serving snapshot for `epoch` from the merged investor graph.
+/// Deterministic per (graph, options): Louvain communities, PageRank
+/// centrality, sorted name index, facet payloads.
+std::unique_ptr<const ServingSnapshot> BuildServingSnapshot(
+    uint64_t epoch, const graph::BipartiteGraph& g,
+    const SnapshotBuildOptions& options = {});
+
+}  // namespace cfnet::serve
+
+#endif  // CFNET_SERVE_SERVING_SNAPSHOT_H_

@@ -1,0 +1,62 @@
+#ifndef CFNET_UTIL_CIRCUIT_BREAKER_H_
+#define CFNET_UTIL_CIRCUIT_BREAKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace cfnet::util {
+
+/// Circuit-breaker tuning (virtual-time cooldowns).
+struct CircuitBreakerConfig {
+  int failure_threshold = 5;                  // consecutive failures to open
+  int64_t cooldown_micros = 60ll * 1000000;   // open -> half-open delay
+  int half_open_probes = 1;                   // successes needed to re-close
+};
+
+/// Shared circuit breaker: closed -> open after `failure_threshold`
+/// consecutive failures, open -> half-open once the cooldown elapses,
+/// half-open -> closed after `half_open_probes` successful probes (any probe
+/// failure re-opens). While open, callers are expected to fail fast or fall
+/// back to a degraded answer without touching the protected resource.
+///
+/// Time is whatever clock the caller passes (the crawler uses per-worker
+/// virtual time, the serving tier a wall/manual clock); the breaker only
+/// compares timestamps. Thread-safe; `trips()` counts transitions into the
+/// open state.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {})
+      : config_(config) {}
+
+  /// True when a request may be issued at time `now_micros` (closed, or
+  /// open past its cooldown — which admits half-open probes).
+  bool AllowRequest(int64_t now_micros);
+  void RecordSuccess();
+  void RecordFailure(int64_t now_micros);
+  /// Back to closed with counters cleared; `trips()` stays (it is a
+  /// monotonic metric, not state).
+  void Reset();
+
+  State state() const;
+  int64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+  /// Time the current open period ends (0 when never opened). A waiting
+  /// caller advances its clock here before probing.
+  int64_t open_until_micros() const;
+
+ private:
+  CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_admitted_ = 0;
+  int half_open_successes_ = 0;
+  int64_t open_until_micros_ = 0;
+  std::atomic<int64_t> trips_{0};
+};
+
+}  // namespace cfnet::util
+
+#endif  // CFNET_UTIL_CIRCUIT_BREAKER_H_

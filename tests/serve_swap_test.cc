@@ -1,0 +1,253 @@
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/epoch_store.h"
+#include "serve/service.h"
+#include "serve/serving_snapshot.h"
+
+namespace cfnet::serve {
+namespace {
+
+/// Self-checking payload: `check` is a pure function of (value, epoch), so a
+/// reader that ever observes a half-written or reclaimed snapshot fails the
+/// invariant instead of silently reading garbage.
+struct Sealed {
+  uint64_t value = 0;
+  uint64_t epoch_tag = 0;
+  uint64_t check = 0;
+  std::vector<uint64_t> payload;  // forces real allocation per snapshot
+
+  static std::unique_ptr<const Sealed> Make(uint64_t value, uint64_t epoch) {
+    auto s = std::make_unique<Sealed>();
+    s->value = value;
+    s->epoch_tag = epoch;
+    s->check = value * 0x9e3779b97f4a7c15ull + epoch;
+    s->payload.assign(256, value);
+    return s;
+  }
+  bool Consistent() const {
+    if (check != value * 0x9e3779b97f4a7c15ull + epoch_tag) return false;
+    for (uint64_t v : payload) {
+      if (v != value) return false;
+    }
+    return true;
+  }
+};
+
+TEST(EpochStoreTest, PublishRetiresAndReclaimsUnpinned) {
+  EpochStore<Sealed> store;
+  EXPECT_FALSE(store.Acquire());
+  EXPECT_EQ(store.Publish(Sealed::Make(10, 1)), 1u);
+  EXPECT_EQ(store.current_epoch(), 1u);
+  EXPECT_EQ(store.Publish(Sealed::Make(20, 2)), 2u);
+  // No pins were held: the first epoch was reclaimed by the second Publish.
+  EXPECT_EQ(store.retired(), 1u);
+  EXPECT_EQ(store.live_epochs(), 1u);
+  auto pin = store.Acquire();
+  ASSERT_TRUE(pin);
+  EXPECT_EQ(pin->value, 20u);
+  EXPECT_EQ(pin.epoch(), 2u);
+}
+
+TEST(EpochStoreTest, PinnedEpochSurvivesSwap) {
+  EpochStore<Sealed> store;
+  store.Publish(Sealed::Make(10, 1));
+  auto pin = store.Acquire();
+  ASSERT_TRUE(pin);
+  store.Publish(Sealed::Make(20, 2));
+  store.Sweep();
+  // The in-flight pin keeps epoch 1 alive and intact...
+  EXPECT_EQ(pin->value, 10u);
+  EXPECT_TRUE(pin->Consistent());
+  EXPECT_EQ(store.live_epochs(), 2u);
+  // ...while new readers see epoch 2.
+  auto fresh = store.Acquire();
+  EXPECT_EQ(fresh->value, 20u);
+  // Once the pin drains, the retired epoch is reclaimed.
+  pin = EpochStore<Sealed>::Pin{};
+  EXPECT_EQ(store.live_pins(), 1);  // only `fresh`
+  store.Sweep();
+  EXPECT_EQ(store.live_epochs(), 1u);
+  EXPECT_EQ(store.retired(), 1u);
+}
+
+/// The satellite's headline race: ~1000 concurrent queries against a
+/// publisher hot-swapping snapshots. No torn reads, every pinned snapshot
+/// internally consistent, all pins drained, every retired epoch reclaimed.
+TEST(EpochStoreTest, SwapRacingConcurrentReadersNeverTears) {
+  EpochStore<Sealed> store;
+  store.Publish(Sealed::Make(1, 1));
+
+  constexpr int kReaders = 8;
+  constexpr int kAcquiresPerReader = 125;  // 1000 total pinned reads
+  constexpr int kPublishes = 300;
+  std::atomic<bool> stop_publisher{false};
+  std::atomic<int64_t> torn{0};
+
+  std::thread publisher([&] {
+    for (uint64_t i = 2; i <= kPublishes && !stop_publisher.load(); ++i) {
+      store.Publish(Sealed::Make(i, i));
+      if (i % 16 == 0) std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < kAcquiresPerReader; ++i) {
+        auto pin = store.Acquire();
+        if (!pin) continue;
+        // Hold the pin across real work; the snapshot must stay intact
+        // even if the publisher retires this epoch meanwhile.
+        if (!pin->Consistent() || pin.epoch() != pin->epoch_tag) {
+          torn.fetch_add(1);
+        }
+        if (i % 8 == 0) std::this_thread::yield();
+        if (!pin->Consistent()) torn.fetch_add(1);
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  stop_publisher.store(true);
+  publisher.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(store.live_pins(), 0);  // every pin refcount drained
+  store.Sweep();
+  // Everything but the current epoch was reclaimed.
+  EXPECT_EQ(store.live_epochs(), 1u);
+  EXPECT_EQ(store.retired(), store.published() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Full service under swap: responses are never a mix of two snapshots, and
+// the epoch-keyed cache never serves old-epoch bytes after invalidation.
+
+graph::BipartiteGraph SwapGraph(uint64_t flavor) {
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (uint64_t inv = 1; inv <= 20; ++inv) {
+    for (uint64_t c = 0; c < 4; ++c) {
+      edges.emplace_back(inv, 100 + (inv * (flavor + 2) + c * 7) % 12);
+    }
+  }
+  return graph::BipartiteGraph::FromEdges(edges);
+}
+
+std::unique_ptr<const ServingSnapshot> SwapSnapshot(uint64_t epoch) {
+  SnapshotBuildOptions opts;
+  opts.investor_name = [](uint64_t id) {
+    return "investor-" + std::to_string(id);
+  };
+  return BuildServingSnapshot(epoch, SwapGraph(epoch), opts);
+}
+
+TEST(ServeSwapTest, QueriesRacingSwapsStayConsistentAndCacheStaysFresh) {
+  EpochStore<ServingSnapshot> store;
+  store.Publish(SwapSnapshot(1));
+  QueryServiceConfig config;
+  config.worker_threads = 4;
+  config.recommend.default_deadline_micros = 5'000'000;
+  config.search.default_deadline_micros = 5'000'000;
+  config.facet.default_deadline_micros = 5'000'000;
+  config.search.queue_capacity = 4096;
+  config.recommend.queue_capacity = 4096;
+  config.facet.queue_capacity = 4096;
+  QueryService service(&store, std::move(config));
+
+  // epoch -> content fingerprint, as observed in response bodies. Any epoch
+  // mapping to two fingerprints (or a body disagreeing with its transport
+  // epoch) is a torn view.
+  std::mutex mu;
+  std::map<uint64_t, uint64_t> epoch_fp;
+  std::atomic<int64_t> torn{0};
+  std::atomic<int64_t> answered{0};
+
+  constexpr int kClients = 5;
+  constexpr int kPerClient = 200;  // 1000 concurrent queries total
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerClient; ++i) {
+        QueryRequest req;
+        switch ((t + i) % 3) {
+          case 0:
+            req = QueryRequest("investors.search",
+                               {{"q", "investor-1"}, {"k", "5"}});
+            break;
+          case 1:
+            req = QueryRequest("investors.similar",
+                               {{"investor_id", std::to_string(1 + i % 20)},
+                                {"k", "5"}});
+            break;
+          default:
+            req = QueryRequest("facets.communities");
+        }
+        QueryResponse resp = service.Call(std::move(req));
+        if (resp.status != 200) continue;
+        answered.fetch_add(1);
+        const uint64_t body_epoch =
+            static_cast<uint64_t>(resp.body->Get("epoch").AsInt());
+        const uint64_t body_fp =
+            static_cast<uint64_t>(resp.body->Get("fingerprint").AsInt());
+        if (body_epoch != resp.epoch) {
+          torn.fetch_add(1);
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        auto [it, inserted] = epoch_fp.emplace(body_epoch, body_fp);
+        if (!inserted && it->second != body_fp) torn.fetch_add(1);
+      }
+    });
+  }
+
+  // Publisher: hot-swap snapshots while the clients hammer the service.
+  std::atomic<bool> done{false};
+  std::thread publisher([&] {
+    uint64_t epoch = 2;
+    while (!done.load()) {
+      store.Publish(SwapSnapshot(epoch++));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  for (auto& c : clients) c.join();
+  done.store(true);
+  publisher.join();
+  service.Shutdown();
+
+  EXPECT_GT(answered.load(), 0);
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(epoch_fp.size(), 1u) << "publisher never swapped during the run";
+
+  // Pins all drained; retired epochs reclaimable down to the current one.
+  EXPECT_EQ(store.live_pins(), 0);
+  store.Sweep();
+  EXPECT_EQ(store.live_epochs(), 1u);
+
+  // Cache stayed epoch-fresh: hits can only have come from live-epoch
+  // entries, and after the final sweep a fresh query maps to the newest
+  // epoch's fingerprint.
+  EpochStore<ServingSnapshot>::Pin current = store.Acquire();
+  ASSERT_TRUE(current);
+  QueryServiceConfig verify_config;
+  verify_config.worker_threads = 1;
+  QueryService verify(&store, std::move(verify_config));
+  QueryResponse fresh = verify.Call(
+      QueryRequest("investors.search", {{"q", "investor-1"}, {"k", "5"}}));
+  ASSERT_EQ(fresh.status, 200);
+  EXPECT_EQ(fresh.epoch, current.epoch());
+  EXPECT_EQ(static_cast<uint64_t>(fresh.body->Get("fingerprint").AsInt()),
+            current->content_fingerprint);
+}
+
+}  // namespace
+}  // namespace cfnet::serve
