@@ -7,7 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include "util/logging.h"
+#include "util/simd.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace cfnet::bench {
 
@@ -79,9 +81,26 @@ void RunBenchmarks(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
 }
 
+json::Json MachineInfoJson() {
+  json::Json machine = json::Json::MakeObject();
+  machine.Set("cpu_count",
+              static_cast<int64_t>(ThreadPool::DefaultParallelism()));
+#if defined(__x86_64__) || defined(_M_X64)
+  machine.Set("arch", "x86_64");
+#elif defined(__aarch64__) || defined(_M_ARM64)
+  machine.Set("arch", "arm64");
+#else
+  machine.Set("arch", "unknown");
+#endif
+  machine.Set("simd_backend", simd::SimdBackendName());
+  return machine;
+}
+
 void WriteJsonDoc(const std::string& path, const json::Json& doc) {
+  json::Json full = doc;
+  full.Set("machine", MachineInfoJson());
   std::ofstream out(path);
-  out << doc.Dump(2) << "\n";
+  out << full.Dump(2) << "\n";
   std::printf("wrote %s\n", path.c_str());
 }
 

@@ -41,8 +41,14 @@ void RunBenchmarks(int argc, char** argv);
 /// Prints a section header.
 void Section(const std::string& title);
 
-/// Writes `doc` pretty-printed to `path` and prints the destination — the
-/// shared tail of every BENCH_*.json emitter.
+/// The machine the bench ran on: cpu count, architecture, and the SIMD
+/// backend the numeric kernels dispatched to. Injected into every
+/// BENCH_*.json by WriteJsonDoc so results are comparable across hosts.
+json::Json MachineInfoJson();
+
+/// Writes `doc` pretty-printed to `path` (with a `machine` metadata object
+/// attached) and prints the destination — the shared tail of every
+/// BENCH_*.json emitter.
 void WriteJsonDoc(const std::string& path, const json::Json& doc);
 
 }  // namespace cfnet::bench

@@ -1,0 +1,77 @@
+#ifndef CFNET_COMMUNITY_INCREMENTAL_H_
+#define CFNET_COMMUNITY_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "community/community_set.h"
+#include "community/label_propagation.h"
+#include "community/louvain.h"
+#include "graph/weighted_graph.h"
+
+namespace cfnet::community {
+
+/// Knobs for the incremental refinement passes. The frontier/halo rule and
+/// the fallback guard are documented in DESIGN.md §15.
+struct IncrementalCommunityConfig {
+  /// Hops of halo eagerly added around the frontier before the first
+  /// sweep. The worklist sweeps already activate the neighbors of every
+  /// moved vertex, which subsumes a static halo lazily — a halo node whose
+  /// frontier neighbors never move keeps its converged previous label, so
+  /// revisiting it eagerly is wasted work. Default 0: frontier-seeded,
+  /// moves spread activity outward on demand.
+  int halo_hops = 0;
+  /// Local-move sweeps over the active set (no aggregation levels — the
+  /// refinement stays in the original graph's label space).
+  int max_sweeps = 20;
+  double min_modularity_gain = 1e-6;
+  /// Fallback guard: if refined modularity drops more than this below the
+  /// previous epoch's, the refinement is discarded and the full algorithm
+  /// reruns. Negative values force the fallback (used in tests).
+  double modularity_drop_tolerance = 0.02;
+  /// Config for the full-recompute fallback paths.
+  LouvainConfig full_louvain;
+  LabelPropagationConfig full_lp;
+};
+
+struct RefineResult {
+  std::vector<int> labels;  // per node, -1 = isolated
+  CommunitySet communities;
+  double modularity = 0;
+  /// True when the guard rejected the refinement and the full algorithm
+  /// produced this result instead.
+  bool full_rebuild = false;
+  size_t frontier_size = 0;
+  size_t active_nodes = 0;  // frontier + halo actually swept
+  int sweeps = 0;
+};
+
+/// Carries the previous epoch's labels across an index remap: new-space
+/// labels with unmapped (brand-new) nodes set to -1. `old_to_new` uses
+/// `graph::BipartiteGraph::kInvalidIndex` for dropped nodes.
+std::vector<int> MapLabels(const std::vector<int>& previous_labels,
+                           const std::vector<uint32_t>& old_to_new,
+                           size_t new_num_nodes);
+
+/// Incremental Louvain: seeds from `seed_labels` (the previous partition,
+/// remapped; -1 entries get fresh singletons), then runs modularity local
+/// moves restricted to the frontier plus its k-hop halo, letting activity
+/// spread to neighbors of moved vertices. Falls back to `RunLouvain` when
+/// the refined modularity drops more than the configured tolerance below
+/// `previous_modularity`.
+RefineResult RefineLouvain(const graph::WeightedGraph& g,
+                           const std::vector<int>& seed_labels,
+                           const std::vector<uint32_t>& frontier,
+                           double previous_modularity,
+                           const IncrementalCommunityConfig& config = {});
+
+/// Incremental label propagation: same frontier/halo restriction and
+/// fallback guard, with the weighted-majority update rule.
+RefineResult RefineLabelPropagation(
+    const graph::WeightedGraph& g, const std::vector<int>& seed_labels,
+    const std::vector<uint32_t>& frontier, double previous_modularity,
+    const IncrementalCommunityConfig& config = {});
+
+}  // namespace cfnet::community
+
+#endif  // CFNET_COMMUNITY_INCREMENTAL_H_

@@ -1,0 +1,109 @@
+#include "core/epoch_maintainer.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace cfnet::core {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+void EpochMaintainer::RunFullAnalytics() {
+  artifacts_.projection = graph::WeightedGraph::ProjectLeft(
+      artifacts_.graph, config_.max_right_degree);
+  community::LouvainResult louvain =
+      community::RunLouvain(artifacts_.projection, config_.refine.full_louvain);
+  artifacts_.community_labels = std::move(louvain.labels);
+  artifacts_.communities = std::move(louvain.communities);
+  artifacts_.modularity = louvain.modularity;
+  if (config_.run_coda) {
+    artifacts_.coda = community::Coda(config_.coda).Fit(artifacts_.graph);
+  }
+}
+
+const EpochArtifacts& EpochMaintainer::FullBuild(
+    const std::vector<std::pair<uint64_t, uint64_t>>& edges) {
+  const auto t0 = std::chrono::steady_clock::now();
+  report_ = EpochBuildReport{};
+  artifacts_.graph = graph::BipartiteGraph::FromEdges(edges);
+  RunFullAnalytics();
+  report_.build_ms = MsSince(t0);
+  has_epoch_ = true;
+  return artifacts_;
+}
+
+const EpochArtifacts& EpochMaintainer::Advance(
+    const std::vector<graph::EdgeDelta>& deltas) {
+  CFNET_CHECK(has_epoch_) << "Advance() requires a FullBuild() baseline";
+  const auto t0 = std::chrono::steady_clock::now();
+  EpochBuildReport report;
+
+  graph::DeltaMergeResult merge =
+      graph::MergeBipartiteDelta(artifacts_.graph, deltas);
+  report.delta_edges = merge.stats.edges_added + merge.stats.edges_removed;
+  report.noop_deltas = merge.stats.noop_deltas;
+  report.rows_reused = merge.stats.rows_reused;
+  report.rows_rebuilt = merge.stats.rows_rebuilt;
+
+  const size_t merged_edges = std::max<size_t>(1, merge.graph.num_edges());
+  const bool too_big =
+      static_cast<double>(report.delta_edges) >
+      config_.full_rebuild_delta_fraction * static_cast<double>(merged_edges);
+
+  if (too_big) {
+    artifacts_.graph = std::move(merge.graph);
+    RunFullAnalytics();
+    report.incremental = false;
+  } else {
+    report.incremental = true;
+    std::vector<uint32_t> frontier = graph::ProjectionFrontier(
+        artifacts_.graph, merge, config_.max_right_degree);
+    report.frontier_size = frontier.size();
+
+    graph::WeightedGraph projection = graph::UpdateProjection(
+        artifacts_.projection, artifacts_.graph, merge,
+        config_.max_right_degree);
+    std::vector<int> seeds =
+        community::MapLabels(artifacts_.community_labels,
+                             merge.old_to_new_left, merge.graph.num_left());
+    community::RefineResult refined = community::RefineLouvain(
+        projection, seeds, frontier, artifacts_.modularity, config_.refine);
+    report.fell_back_full = refined.full_rebuild;
+
+    if (config_.run_coda) {
+      community::CodaWarmStart warm;
+      warm.previous = &artifacts_.coda;
+      warm.old_to_new_left = merge.old_to_new_left;
+      warm.old_to_new_right = merge.old_to_new_right;
+      warm.frontier_left = frontier;
+      for (const graph::TouchedRight& tr : merge.touched_rights) {
+        if (tr.new_index != graph::BipartiteGraph::kInvalidIndex) {
+          warm.frontier_right.push_back(tr.new_index);
+        }
+      }
+      std::sort(warm.frontier_right.begin(), warm.frontier_right.end());
+      artifacts_.coda =
+          community::Coda(config_.coda).FitWarm(merge.graph, warm);
+    }
+
+    artifacts_.graph = std::move(merge.graph);
+    artifacts_.projection = std::move(projection);
+    artifacts_.community_labels = std::move(refined.labels);
+    artifacts_.communities = std::move(refined.communities);
+    artifacts_.modularity = refined.modularity;
+  }
+
+  report.build_ms = MsSince(t0);
+  report_ = report;
+  return artifacts_;
+}
+
+}  // namespace cfnet::core

@@ -4,10 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "crawler/crawler.h"
+#include "core/epoch_maintainer.h"
 #include "core/records.h"
 #include "dataflow/context.h"
 #include "dataflow/dataset.h"
@@ -65,6 +69,28 @@ class ExploratoryPlatform {
     /// query snapshot; see src/serve. Runs on the crawler's flush thread —
     /// keep it cheap or hand the work off.
     std::function<void(uint64_t epoch)> epoch_published_hook;
+    /// Maintain per-epoch analytics (merged investor graph, projection,
+    /// refined communities) incrementally across crawl rounds: each
+    /// `AdvanceEpoch()` scans only the snapshot bytes appended since the
+    /// last scan, turns them into an edge-delta batch, and updates the
+    /// EpochMaintainer at delta cost. See DESIGN.md §15.
+    bool incremental_epochs = false;
+    /// With `incremental_epochs`: run AdvanceEpoch() automatically inside
+    /// the post-flush hook, so every crawl/replay flush publishes a
+    /// serving-ready incremental epoch (instead of just a counter bump).
+    bool auto_advance_epochs = false;
+    EpochMaintainer::Config epoch_config;
+  };
+
+  /// What one AdvanceEpoch() round did.
+  struct EpochAdvanceReport {
+    uint64_t epoch = 0;            // epoch number published by this round
+    bool full_rebuild = false;     // baseline build (first round or reset)
+    bool watermark_reset = false;  // shard truncation detected -> rescan
+    size_t files_scanned = 0;
+    size_t records_parsed = 0;
+    size_t delta_edges_emitted = 0;  // raw add-deltas extracted this round
+    EpochBuildReport build;
   };
 
   explicit ExploratoryPlatform(const Options& options);
@@ -107,7 +133,27 @@ class ExploratoryPlatform {
     return snapshot_epoch_.load(std::memory_order_acquire);
   }
 
+  /// Incremental epoch production: scans the user/CrunchBase snapshot
+  /// shards past their per-file watermarks (committed payload bytes already
+  /// consumed), extracts the new investment edges as a delta batch, and
+  /// advances the EpochMaintainer — a full baseline build on the first
+  /// round (or after a watermark regression, i.e. a shard shrank under a
+  /// resume rollback), the delta path afterwards. Publishes a snapshot
+  /// epoch and fires `epoch_published_hook`. Thread-safe.
+  Result<EpochAdvanceReport> AdvanceEpoch();
+
+  /// The maintainer behind AdvanceEpoch (nullptr before the first call).
+  /// The returned artifacts stay valid until the next AdvanceEpoch().
+  const EpochMaintainer* epoch_maintainer() const {
+    return epoch_maintainer_.get();
+  }
+  /// Report of the last AdvanceEpoch() round.
+  const EpochAdvanceReport& last_epoch_report() const {
+    return last_epoch_report_;
+  }
+
  private:
+  Result<EpochAdvanceReport> AdvanceEpochLocked();
   Options options_;
   std::unique_ptr<synth::World> world_;
   std::unique_ptr<net::SocialWeb> web_;
@@ -118,6 +164,16 @@ class ExploratoryPlatform {
   std::atomic<uint64_t> snapshot_epoch_{0};
   std::unique_ptr<AnalysisInputs> cached_inputs_;
   dfs::ScanReport scan_report_;
+
+  /// Incremental-epoch state, guarded by epoch_mu_ (AdvanceEpoch can run
+  /// on the crawler's flush thread in auto mode).
+  std::mutex epoch_mu_;
+  std::unique_ptr<EpochMaintainer> epoch_maintainer_;
+  /// Committed payload bytes of each JSON shard already turned into
+  /// deltas; a shard whose payload shrank below its watermark signals a
+  /// rollback and forces a full rescan.
+  std::map<std::string, uint64_t> epoch_watermarks_;
+  EpochAdvanceReport last_epoch_report_;
 };
 
 }  // namespace cfnet::core

@@ -9,6 +9,8 @@
 
 namespace cfnet::graph {
 
+class GraphDeltaOps;
+
 /// Directed bipartite graph in CSR form: left nodes (investors) point to
 /// right nodes (companies they invested in). This is the §5.1 investor
 /// graph; external 64-bit ids are compacted to dense indices.
@@ -65,6 +67,10 @@ class BipartiteGraph {
   BipartiteGraph FilterLeftByMinDegree(size_t min_degree) const;
 
  private:
+  /// Incremental maintenance (graph/delta.cc) assembles merged CSRs in
+  /// place instead of round-tripping through an edge vector.
+  friend class GraphDeltaOps;
+
   void BuildInverse();
   void BuildIndexMaps();
 

@@ -107,22 +107,43 @@ void WeightedGraph::FinishBuild(
     neighbors_[cursor[b]] = a;
     weights_[cursor[b]++] = w;
   }
-  // Canonicalize: adjacency sorted by neighbor index so the CSR (and every
-  // kernel iterating it) is independent of the input edge order.
+  // Canonicalize each row through the shared helper: sorted by neighbor
+  // index, duplicate parallel edges merged — so the CSR (and every kernel
+  // iterating it) is independent of the input edge order and matches the
+  // delta-merge path byte for byte.
   std::vector<std::pair<uint32_t, double>> row;
+  size_t write = 0;
+  std::vector<size_t> new_offsets(num_nodes + 1, 0);
   for (size_t v = 0; v < num_nodes; ++v) {
     const size_t begin = offsets_[v];
     const size_t end = offsets_[v + 1];
-    if (end - begin <= 1) continue;
     row.clear();
     for (size_t k = begin; k < end; ++k) row.emplace_back(neighbors_[k], weights_[k]);
-    std::sort(row.begin(), row.end());
-    for (size_t k = begin; k < end; ++k) {
-      neighbors_[k] = row[k - begin].first;
-      weights_[k] = row[k - begin].second;
+    CanonicalizeAdjacency(row);
+    for (const auto& [nbr, w] : row) {
+      neighbors_[write] = nbr;
+      weights_[write++] = w;
+    }
+    new_offsets[v + 1] = write;
+  }
+  offsets_ = std::move(new_offsets);
+  neighbors_.resize(write);
+  weights_.resize(write);
+  ComputeDegrees();
+}
+
+void CanonicalizeAdjacency(std::vector<std::pair<uint32_t, double>>& row) {
+  if (row.size() <= 1) return;
+  std::sort(row.begin(), row.end());
+  size_t out = 0;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (out > 0 && row[out - 1].first == row[i].first) {
+      row[out - 1].second += row[i].second;
+    } else {
+      row[out++] = row[i];
     }
   }
-  ComputeDegrees();
+  row.resize(out);
 }
 
 void WeightedGraph::ComputeDegrees() {

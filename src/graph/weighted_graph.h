@@ -10,6 +10,15 @@
 
 namespace cfnet::graph {
 
+class GraphDeltaOps;
+
+/// Canonicalizes one adjacency row in place: entries sorted by neighbor
+/// index, duplicate neighbors merged by summing their weights. The single
+/// normalization rule shared by `WeightedGraph::FromEdges` and the
+/// incremental delta-merge path (graph/delta), so both produce the same
+/// CSR bytes for the same logical edge set.
+void CanonicalizeAdjacency(std::vector<std::pair<uint32_t, double>>& row);
+
 /// Undirected weighted graph in CSR form (each edge stored in both
 /// directions). Node indices correspond to the left side of the bipartite
 /// graph it was projected from.
@@ -59,6 +68,10 @@ class WeightedGraph {
   double TotalWeight2m() const { return total_weight_2m_; }
 
  private:
+  /// Incremental maintenance (graph/delta.cc) splices untouched rows and
+  /// recomputes frontier rows straight into the private CSR arrays.
+  friend class GraphDeltaOps;
+
   void FinishBuild(size_t num_nodes,
                    std::vector<std::tuple<uint32_t, uint32_t, double>>& edges);
   /// Fills weighted_degree_ / total_weight_2m_ from the built CSR.

@@ -27,19 +27,34 @@ std::string DefaultName(const char* prefix, uint64_t id) {
 std::unique_ptr<const ServingSnapshot> BuildServingSnapshot(
     uint64_t epoch, const graph::BipartiteGraph& g,
     const SnapshotBuildOptions& options) {
+  const graph::BipartiteGraph* graph = &g;
+  graph::BipartiteGraph filtered;
+  if (options.min_investments > 1) {
+    filtered = g.FilterLeftByMinDegree(options.min_investments);
+    graph = &filtered;
+  }
+  graph::WeightedGraph projection =
+      graph::WeightedGraph::ProjectLeft(*graph, options.max_right_degree);
+  community::LouvainResult louvain = community::RunLouvain(projection);
+  return AssembleServingSnapshot(epoch, *graph, projection, louvain.labels,
+                                 louvain.communities, options);
+}
+
+std::unique_ptr<const ServingSnapshot> AssembleServingSnapshot(
+    uint64_t epoch, const graph::BipartiteGraph& g,
+    const graph::WeightedGraph& projection,
+    const std::vector<int>& community_labels,
+    const community::CommunitySet& communities,
+    const SnapshotBuildOptions& options) {
   auto snap = std::make_unique<ServingSnapshot>();
   snap->epoch = epoch;
-  snap->graph = options.min_investments > 1
-                    ? g.FilterLeftByMinDegree(options.min_investments)
-                    : g;
+  snap->graph = g;
   const graph::BipartiteGraph& graph = snap->graph;
   const size_t n = graph.num_left();
 
-  snap->projection =
-      graph::WeightedGraph::ProjectLeft(graph, options.max_right_degree);
-  community::LouvainResult louvain = community::RunLouvain(snap->projection);
-  snap->community_labels = std::move(louvain.labels);
-  snap->communities = std::move(louvain.communities);
+  snap->projection = projection;
+  snap->community_labels = community_labels;
+  snap->communities = communities;
   std::vector<double> centrality = graph::PageRank(snap->projection);
 
   snap->investors.resize(n);

@@ -68,6 +68,21 @@ std::unique_ptr<const ServingSnapshot> BuildServingSnapshot(
     uint64_t epoch, const graph::BipartiteGraph& g,
     const SnapshotBuildOptions& options = {});
 
+/// Assembles a serving snapshot from analytics computed elsewhere (the
+/// incremental path: core::EpochMaintainer maintains graph/projection/
+/// partition across epochs at delta cost, and this finishes the serving
+/// side — PageRank, investor entries, search/centrality indexes, facet
+/// payloads, fingerprint). `projection`/`community_labels`/`communities`
+/// must describe exactly `g`; `options.min_investments` is NOT applied
+/// here (the caller owns graph hygiene). BuildServingSnapshot is
+/// equivalent to filtering + projecting + Louvain + this call.
+std::unique_ptr<const ServingSnapshot> AssembleServingSnapshot(
+    uint64_t epoch, const graph::BipartiteGraph& g,
+    const graph::WeightedGraph& projection,
+    const std::vector<int>& community_labels,
+    const community::CommunitySet& communities,
+    const SnapshotBuildOptions& options = {});
+
 }  // namespace cfnet::serve
 
 #endif  // CFNET_SERVE_SERVING_SNAPSHOT_H_

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/platform.h"
+#include "net/fault_plan.h"
 #include "serve/epoch_store.h"
 #include "serve/service.h"
 #include "serve/serving_snapshot.h"
@@ -247,6 +249,131 @@ TEST(ServeSwapTest, QueriesRacingSwapsStayConsistentAndCacheStaysFresh) {
   EXPECT_EQ(fresh.epoch, current.epoch());
   EXPECT_EQ(static_cast<uint64_t>(fresh.body->Get("fingerprint").AsInt()),
             current->content_fingerprint);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental epoch publication under load: a real crawl round drives the
+// platform's delta-scanned AdvanceEpoch, each epoch's maintained artifacts
+// are assembled into a serving snapshot and hot-swapped while clients
+// hammer the service — zero torn responses, and the incremental build is
+// visible in the service's epoch counters.
+
+TEST(ServeSwapTest, IncrementalEpochsPublishUnderQueryLoadWithoutTearing) {
+  core::ExploratoryPlatform::Options options;
+  options.world.scale = 0.002;
+  options.world.seed = 11;
+  options.crawl.num_workers = 2;
+  options.incremental_epochs = true;
+  options.epoch_config.full_rebuild_delta_fraction = 1.1;
+  core::ExploratoryPlatform platform(options);
+
+  // CrunchBase starts hard-down: its fetches dead-letter, so the baseline
+  // epoch carries AngelList edges only and the replay later produces a
+  // genuine delta batch.
+  net::FaultPlan outage;
+  outage.error_bursts = {{0, 365ll * 24 * 3600 * 1000000ll, 1.0}};
+  platform.web().crunchbase().set_fault_plan(outage);
+  ASSERT_TRUE(platform.CollectData().ok());
+
+  EpochStore<ServingSnapshot> store;
+  QueryServiceConfig config;
+  config.worker_threads = 2;
+  config.search.default_deadline_micros = 5'000'000;
+  config.facet.default_deadline_micros = 5'000'000;
+  config.search.queue_capacity = 4096;
+  config.facet.queue_capacity = 4096;
+  QueryService service(&store, std::move(config));
+
+  SnapshotBuildOptions build;
+  const synth::World& world = platform.world();
+  build.investor_name = [&world](uint64_t id) {
+    const synth::UserTruth* u = world.FindUser(id);
+    return u != nullptr ? u->name : "investor-" + std::to_string(id);
+  };
+  build.company_name = [&world](uint64_t id) {
+    const synth::CompanyTruth* c = world.FindCompany(id);
+    return c != nullptr ? c->name : "company-" + std::to_string(id);
+  };
+
+  // Publishes the maintainer's current artifacts as a serving snapshot and
+  // feeds the build accounting into the service's epoch counters. The
+  // snapshot's embedded epoch must match the store's assignment (the torn
+  // check compares body epoch against the pinned transport epoch).
+  uint64_t serving_epoch = 0;
+  auto publish_epoch = [&]() {
+    const core::EpochArtifacts& arts = platform.epoch_maintainer()->artifacts();
+    const uint64_t published = store.Publish(AssembleServingSnapshot(
+        ++serving_epoch, arts.graph, arts.projection, arts.community_labels,
+        arts.communities, build));
+    ASSERT_EQ(published, serving_epoch);
+    const core::EpochBuildReport& report = platform.last_epoch_report().build;
+    service.RecordEpochBuild(report.build_ms, report.incremental);
+  };
+
+  auto first = platform.AdvanceEpoch();
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(first->full_rebuild);
+  publish_epoch();
+
+  // Clients hammer the service across the swap.
+  std::mutex mu;
+  std::map<uint64_t, uint64_t> epoch_fp;
+  std::atomic<int64_t> torn{0};
+  std::atomic<int64_t> answered{0};
+  std::atomic<bool> stop{false};
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; !stop.load() || i < 50; ++i) {
+        if (i >= 400) break;
+        QueryRequest req = (t + i) % 2 == 0
+                               ? QueryRequest("investors.search",
+                                              {{"q", "a"}, {"k", "5"}})
+                               : QueryRequest("facets.communities");
+        QueryResponse resp = service.Call(std::move(req));
+        if (resp.status != 200) continue;
+        answered.fetch_add(1);
+        const uint64_t body_epoch =
+            static_cast<uint64_t>(resp.body->Get("epoch").AsInt());
+        const uint64_t body_fp =
+            static_cast<uint64_t>(resp.body->Get("fingerprint").AsInt());
+        if (body_epoch != resp.epoch) {
+          torn.fetch_add(1);
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        auto [it, inserted] = epoch_fp.emplace(body_epoch, body_fp);
+        if (!inserted && it->second != body_fp) torn.fetch_add(1);
+      }
+    });
+  }
+
+  // Mid-load: CrunchBase recovers, the dead letters replay, and the next
+  // AdvanceEpoch publishes an incremental epoch.
+  platform.web().crunchbase().set_fault_plan({});
+  ASSERT_TRUE(platform.crawler().ReplayDeadLetters().ok());
+  auto replayed = platform.AdvanceEpoch();
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_TRUE(replayed->build.incremental);
+  EXPECT_GT(replayed->build.delta_edges, 0u);
+  publish_epoch();
+
+  stop.store(true);
+  for (auto& c : clients) c.join();
+  service.Shutdown();
+
+  EXPECT_GT(answered.load(), 0);
+  EXPECT_EQ(torn.load(), 0);
+
+  // The incremental build surfaced in the epoch counters.
+  json::Json stats = service.StatsJson();
+  EXPECT_GE(stats.Get("epochs").Get("epochs_incremental").AsInt(), 1);
+  EXPECT_GE(stats.Get("epochs").Get("epochs_full").AsInt(), 1);
+
+  EXPECT_EQ(store.live_pins(), 0);
+  store.Sweep();
+  EXPECT_EQ(store.live_epochs(), 1u);
 }
 
 }  // namespace
